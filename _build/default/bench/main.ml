@@ -1,0 +1,665 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (and the ablations DESIGN.md calls out), then runs Bechamel
+   microbenchmarks on the model-query hot paths.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- fig3_3 table5_1
+     dune exec bench/main.exe -- --quick      -- reduced trial counts
+
+   The golden reference is the in-repo circuit simulator (standing in for
+   the paper's HSPICE); all workloads are seeded and deterministic. *)
+
+module Floatx = Proxim_util.Floatx
+module Prng = Proxim_util.Prng
+module Stats = Proxim_util.Stats
+module Histogram = Proxim_util.Histogram
+module Gate = Proxim_gates.Gate
+module Tech = Proxim_gates.Tech
+module Vtc = Proxim_vtc.Vtc
+module Measure = Proxim_measure.Measure
+module Models = Proxim_macromodel.Models
+module Proximity = Proxim_core.Proximity
+module Inertial = Proxim_core.Inertial
+module Storage = Proxim_core.Storage
+module Collapse = Proxim_baseline.Collapse
+
+let quick = ref false
+
+let ps s = s *. 1e12
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title =
+  Printf.printf "\n-- %s --\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Shared context: the paper's 3-input NAND testbench                  *)
+
+type ctx = {
+  tech : Tech.t;
+  nand3 : Gate.t;
+  th : Vtc.thresholds;
+  models : Models.t;
+}
+
+let make_ctx () =
+  let tech = Tech.generic_5v in
+  let nand3 = Gate.nand tech ~fan_in:3 in
+  let th = Vtc.thresholds ~points:301 nand3 in
+  let models = Models.of_oracle nand3 th in
+  { tech; nand3; th; models }
+
+let ctx = lazy (make_ctx ())
+
+let event pin edge tau cross =
+  { Proximity.pin; edge; tau; cross_time = cross }
+
+let golden c events ~ref_pin =
+  let stimuli =
+    List.map
+      (fun (e : Proximity.event) ->
+        ( e.Proximity.pin,
+          { Measure.edge = e.Proximity.edge; tau = e.Proximity.tau;
+            cross_time = e.Proximity.cross_time } ))
+      events
+  in
+  Measure.multi_input c.nand3 c.th ~stimuli ~ref_pin
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1-2: delay and output transition vs separation               *)
+
+let fig1_2 () =
+  let c = Lazy.force ctx in
+  section
+    "Figure 1-2: proximity effect on a 3-input NAND (c stable at Vdd)";
+  let run edge label =
+    let tau_a = 500e-12 and tau_b = 100e-12 in
+    let d_a = c.models.Models.delay1 ~pin:0 ~edge ~tau:tau_a in
+    let d_b = c.models.Models.delay1 ~pin:1 ~edge ~tau:tau_b in
+    let t_a = c.models.Models.trans1 ~pin:0 ~edge ~tau:tau_a in
+    let t_b = c.models.Models.trans1 ~pin:1 ~edge ~tau:tau_b in
+    let s_lo = -.(d_b +. t_b) and s_hi = d_a +. t_a in
+    subsection
+      (Printf.sprintf
+         "%s inputs: tau_a = 500 ps, tau_b = 100 ps (output %s)" label
+         (match edge with Measure.Fall -> "rise" | Measure.Rise -> "fall"));
+    Printf.printf
+      "  s_ab[ps]   dom | delay gold[ps] model[ps]  err%%  | trans gold[ps] \
+       model[ps]  err%%\n";
+    let points = if !quick then 9 else 17 in
+    Array.iter
+      (fun s ->
+        let base = 2.5e-9 in
+        let events = [ event 0 edge tau_a base; event 1 edge tau_b (base +. s) ] in
+        let r = Proximity.evaluate c.models events in
+        let g = golden c events ~ref_pin:r.Proximity.ref_pin in
+        let derr =
+          (r.Proximity.delay -. g.Measure.delay) /. g.Measure.delay *. 100.
+        in
+        let terr =
+          (r.Proximity.out_transition -. g.Measure.out_transition)
+          /. g.Measure.out_transition *. 100.
+        in
+        Printf.printf
+          "  %8.1f    %s  |     %8.1f  %8.1f  %+5.1f |      %8.1f  %8.1f  \
+           %+5.1f\n"
+          (ps s)
+          (Gate.pin_name r.Proximity.ref_pin)
+          (ps g.Measure.delay) (ps r.Proximity.delay) derr
+          (ps g.Measure.out_transition)
+          (ps r.Proximity.out_transition)
+          terr)
+      (Floatx.linspace s_lo s_hi points)
+  in
+  run Measure.Fall "falling";
+  run Measure.Rise "rising"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2-1: the VTC family and the threshold table                  *)
+
+let fig2_1 () =
+  let c = Lazy.force ctx in
+  section "Figure 2-1: VTC family of the 3-input NAND";
+  let fam = Vtc.family ~points:301 c.nand3 in
+  Printf.printf "  subset      Vil      Vm      Vih   (V)\n";
+  List.iter
+    (fun (curve : Vtc.curve) ->
+      let name =
+        String.concat "" (List.map Gate.pin_name curve.Vtc.subset)
+      in
+      Printf.printf "  %-8s  %6.3f  %6.3f  %6.3f\n" ("{" ^ name ^ "}")
+        curve.Vtc.vil curve.Vtc.vm curve.Vtc.vih)
+    fam;
+  let th = Vtc.choose fam in
+  Printf.printf
+    "  chosen thresholds: Vil = %.3f V (min), Vih = %.3f V (max)\n"
+    th.Vtc.vil th.Vtc.vih;
+  Printf.printf
+    "  (paper, different process: Vil = 1.25 V, Vih = 3.37 V at Vdd = 5 V)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3-3: proximity effect on delay, with dominance crossover     *)
+
+let fig3_3 () =
+  let c = Lazy.force ctx in
+  section "Figure 3-3: delay vs separation; dominance crossover";
+  let edge = Measure.Fall in
+  let tau_a = 500e-12 in
+  List.iter
+    (fun tau_b ->
+      let d_a = c.models.Models.delay1 ~pin:0 ~edge ~tau:tau_a in
+      let d_b = c.models.Models.delay1 ~pin:1 ~edge ~tau:tau_b in
+      let t_a = c.models.Models.trans1 ~pin:0 ~edge ~tau:tau_a in
+      let t_b = c.models.Models.trans1 ~pin:1 ~edge ~tau:tau_b in
+      let crossover = d_a -. d_b in
+      subsection
+        (Printf.sprintf
+           "fall(a) = 500 ps, fall(b) = %.0f ps; predicted crossover at s = \
+            %.1f ps"
+           (ps tau_b) (ps crossover));
+      Printf.printf "  s_ab[ps]   dom | delay gold[ps]  model[ps]  err%%\n";
+      let points = if !quick then 9 else 15 in
+      Array.iter
+        (fun s ->
+          let base = 3e-9 in
+          let events =
+            [ event 0 edge tau_a base; event 1 edge tau_b (base +. s) ]
+          in
+          let r = Proximity.evaluate c.models events in
+          let g = golden c events ~ref_pin:r.Proximity.ref_pin in
+          let derr =
+            (r.Proximity.delay -. g.Measure.delay) /. g.Measure.delay *. 100.
+          in
+          Printf.printf "  %8.1f    %s  |      %8.1f   %8.1f  %+5.1f\n" (ps s)
+            (Gate.pin_name r.Proximity.ref_pin)
+            (ps g.Measure.delay) (ps r.Proximity.delay) derr)
+        (Floatx.linspace (-.(d_b +. t_b)) (d_a +. t_a) points))
+    [ 100e-12; 500e-12; 1000e-12 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4-2: storage complexity                                      *)
+
+let fig4_2 () =
+  section "Figure 4-2: storage complexity of the modeling options";
+  List.iter
+    (fun fan_in ->
+      Format.printf "%a" (fun ppf () ->
+        Storage.pp_comparison ppf ~fan_in ~points_per_axis:10) ())
+    [ 2; 3; 4; 6; 8 ];
+  Printf.printf
+    "(cells are for delay only; double for the transition-time models)\n"
+
+(* ------------------------------------------------------------------ *)
+(* The 100-configuration validation dataset (Table 5-1 and friends)    *)
+
+type sample = {
+  s_events : Proximity.event list;
+  s_gold : Measure.observation;
+  s_ref_pin : int;
+  s_ref_cross : float;
+}
+
+let validation_dataset = ref None
+
+let dataset () =
+  match !validation_dataset with
+  | Some d -> d
+  | None ->
+    let c = Lazy.force ctx in
+    let n = if !quick then 30 else 100 in
+    let rng = Prng.create 19951010L (* the report's date *) in
+    let samples =
+      Array.init n (fun _ ->
+        let tau () = Prng.float rng ~lo:50e-12 ~hi:2000e-12 in
+        let base = 2.5e-9 in
+        let sep () = Prng.float rng ~lo:(-500e-12) ~hi:500e-12 in
+        let events =
+          [
+            event 0 Measure.Fall (tau ()) base;
+            event 1 Measure.Fall (tau ()) (base +. sep ());
+            event 2 Measure.Fall (tau ()) (base +. sep ());
+          ]
+        in
+        let r = Proximity.evaluate c.models events in
+        let g = golden c events ~ref_pin:r.Proximity.ref_pin in
+        {
+          s_events = events;
+          s_gold = g;
+          s_ref_pin = r.Proximity.ref_pin;
+          s_ref_cross = r.Proximity.ref_cross;
+        })
+    in
+    validation_dataset := Some samples;
+    samples
+
+let pct_errors ~pred_delay ~pred_trans samples =
+  let derr =
+    Array.map
+      (fun s ->
+        (pred_delay s -. s.s_gold.Measure.delay)
+        /. s.s_gold.Measure.delay *. 100.)
+      samples
+  in
+  let terr =
+    Array.map
+      (fun s ->
+        (pred_trans s -. s.s_gold.Measure.out_transition)
+        /. s.s_gold.Measure.out_transition *. 100.)
+      samples
+  in
+  (derr, terr)
+
+let print_stat_row label (st : Stats.summary) =
+  Printf.printf "  %-28s %+7.2f  %6.2f  %+7.2f  %+7.2f\n" label st.Stats.mean
+    st.Stats.std st.Stats.max st.Stats.min
+
+let table5_1 () =
+  let c = Lazy.force ctx in
+  section
+    (Printf.sprintf
+       "Table 5-1: model vs circuit simulation, %d random configurations"
+       (Array.length (dataset ())));
+  let samples = dataset () in
+  let eval ?correction s =
+    Proximity.evaluate ?correction c.models s.s_events
+  in
+  let corr =
+    Proximity.calibrate_correction c.nand3 c.th c.models ~edge:Measure.Fall
+  in
+  Printf.printf
+    "  calibrated correction: delay %.1f ps, transition %.1f ps\n"
+    (ps corr.Proximity.delay_err)
+    (ps corr.Proximity.trans_err);
+  Printf.printf "\n  quantity                       mean%%   std%%     max%%     min%%\n";
+  let d_nc, t_nc =
+    pct_errors samples
+      ~pred_delay:(fun s -> (eval s).Proximity.delay)
+      ~pred_trans:(fun s -> (eval s).Proximity.out_transition)
+  in
+  let d_c, t_c =
+    pct_errors samples
+      ~pred_delay:(fun s -> (eval ~correction:corr s).Proximity.delay)
+      ~pred_trans:(fun s -> (eval ~correction:corr s).Proximity.out_transition)
+  in
+  print_stat_row "delay (no correction)" (Stats.summarize d_nc);
+  print_stat_row "delay (with correction)" (Stats.summarize d_c);
+  print_stat_row "rise time (no correction)" (Stats.summarize t_nc);
+  print_stat_row "rise time (with correction)" (Stats.summarize t_c);
+  Printf.printf "  paper: delay                   +1.40    2.46    +8.54    -6.94\n";
+  Printf.printf "  paper: rise time               -1.33    4.82   +11.51   -13.15\n";
+  (* Figure 5-1: error distributions *)
+  subsection "Figure 5-1(a): delay error distribution [%] (no correction)";
+  Format.printf "%a" Histogram.pp
+    (Histogram.create ~lo:(-10.) ~hi:10. ~bins:10 d_nc);
+  subsection "Figure 5-1(b): rise-time error distribution [%] (no correction)";
+  Format.printf "%a" Histogram.pp
+    (Histogram.create ~lo:(-15.) ~hi:15. ~bins:10 t_nc)
+
+let ablation_correction () =
+  (* the correction rows are already part of table5_1; this entry exists
+     so the per-experiment index has a dedicated target *)
+  table5_1 ()
+
+let baseline_cmp () =
+  let c = Lazy.force ctx in
+  section "Baseline comparison: collapse-to-inverter vs proximity model";
+  let samples = dataset () in
+  let prox_d, prox_t =
+    pct_errors samples
+      ~pred_delay:(fun s ->
+        (Proximity.evaluate c.models s.s_events).Proximity.delay)
+      ~pred_trans:(fun s ->
+        (Proximity.evaluate c.models s.s_events).Proximity.out_transition)
+  in
+  let of_variant variant =
+    pct_errors samples
+      ~pred_delay:(fun s ->
+        let p = Collapse.predict variant c.nand3 c.th ~events:s.s_events in
+        p.Collapse.out_cross -. s.s_ref_cross)
+      ~pred_trans:(fun s ->
+        let p = Collapse.predict variant c.nand3 c.th ~events:s.s_events in
+        p.Collapse.out_transition)
+  in
+  let jun_d, jun_t = of_variant Collapse.Jun in
+  let nl_d, nl_t = of_variant Collapse.Nabavi_lishi in
+  Printf.printf "\n  method / delay error           mean%%   std%%     max%%     min%%\n";
+  print_stat_row "proximity (this paper)" (Stats.summarize prox_d);
+  print_stat_row "Jun et al. [8] collapse" (Stats.summarize jun_d);
+  print_stat_row "Nabavi-Lishi [13] collapse" (Stats.summarize nl_d);
+  Printf.printf "\n  method / rise-time error       mean%%   std%%     max%%     min%%\n";
+  print_stat_row "proximity (this paper)" (Stats.summarize prox_t);
+  print_stat_row "Jun et al. [8] collapse" (Stats.summarize jun_t);
+  print_stat_row "Nabavi-Lishi [13] collapse" (Stats.summarize nl_t)
+
+let ablation_table () =
+  let c = Lazy.force ctx in
+  section "Ablation: tabulated dual-input macromodel vs simulator oracle";
+  let n = if !quick then 8 else 30 in
+  let samples = Array.sub (dataset ()) 0 (min n (Array.length (dataset ()))) in
+  Printf.printf "  building 3-D tables (this triggers many transient runs)...\n%!";
+  let t0 = Unix.gettimeofday () in
+  let full_x_tau = Floatx.logspace 0.25 16. 6 in
+  let full_x_sep =
+    [| -7.; -4.5; -3.; -2.; -1.25; -0.7; -0.3; 0.; 0.35; 0.7; 1.; 1.25 |]
+  in
+  let table_models =
+    if !quick then
+      Models.of_tables
+        ~taus:(Floatx.logspace 30e-12 4e-9 8)
+        ~x_tau:(Floatx.logspace 0.3 12. 5)
+        ~x_sep:(Floatx.linspace (-2.5) 1.25 8)
+        c.nand3 c.th
+    else Models.of_tables ~x_tau:full_x_tau ~x_sep:full_x_sep c.nand3 c.th
+  in
+  let d_tbl, t_tbl =
+    pct_errors samples
+      ~pred_delay:(fun s ->
+        (Proximity.evaluate table_models s.s_events).Proximity.delay)
+      ~pred_trans:(fun s ->
+        (Proximity.evaluate table_models s.s_events).Proximity.out_transition)
+  in
+  let d_orc, t_orc =
+    pct_errors samples
+      ~pred_delay:(fun s ->
+        (Proximity.evaluate c.models s.s_events).Proximity.delay)
+      ~pred_trans:(fun s ->
+        (Proximity.evaluate c.models s.s_events).Proximity.out_transition)
+  in
+  (* the paper's Fig 4-2 claim: n dual tables (one per dominant pin,
+     shared across the other inputs) suffice in practice *)
+  let shared_models =
+    if !quick then
+      Models.of_tables
+        ~taus:(Floatx.logspace 30e-12 4e-9 8)
+        ~x_tau:(Floatx.logspace 0.3 12. 5)
+        ~x_sep:(Floatx.linspace (-2.5) 1.25 8)
+        ~share_others:true c.nand3 c.th
+    else
+      Models.of_tables ~x_tau:full_x_tau ~x_sep:full_x_sep ~share_others:true
+        c.nand3 c.th
+  in
+  let d_shr, t_shr =
+    pct_errors samples
+      ~pred_delay:(fun s ->
+        (Proximity.evaluate shared_models s.s_events).Proximity.delay)
+      ~pred_trans:(fun s ->
+        (Proximity.evaluate shared_models s.s_events).Proximity.out_transition)
+  in
+  Printf.printf "  table construction + queries: %.1f s\n" (Unix.gettimeofday () -. t0);
+  Printf.printf "\n  dual-input model / delay       mean%%   std%%     max%%     min%%\n";
+  print_stat_row "oracle (paper's methodology)" (Stats.summarize d_orc);
+  print_stat_row "tabulated, n^2 tables" (Stats.summarize d_tbl);
+  print_stat_row "tabulated, n shared (Fig 4-2)" (Stats.summarize d_shr);
+  Printf.printf "\n  dual-input model / rise time   mean%%   std%%     max%%     min%%\n";
+  print_stat_row "oracle (paper's methodology)" (Stats.summarize t_orc);
+  print_stat_row "tabulated, n^2 tables" (Stats.summarize t_tbl);
+  print_stat_row "tabulated, n shared (Fig 4-2)" (Stats.summarize t_shr)
+
+let ablation_composition () =
+  let c = Lazy.force ctx in
+  section "Ablation: output-transition composition rule (eq 4.5 vs rates)";
+  let samples = dataset () in
+  let of_comp comp =
+    pct_errors samples
+      ~pred_delay:(fun s ->
+        (Proximity.evaluate ~trans_composition:comp c.models s.s_events)
+          .Proximity.delay)
+      ~pred_trans:(fun s ->
+        (Proximity.evaluate ~trans_composition:comp c.models s.s_events)
+          .Proximity.out_transition)
+  in
+  let _, t_add = of_comp Proximity.Additive in
+  let _, t_rate = of_comp Proximity.Rate_additive in
+  Printf.printf "\n  rise-time composition          mean%%   std%%     max%%     min%%\n";
+  print_stat_row "additive (eq 4.5 verbatim)" (Stats.summarize t_add);
+  print_stat_row "rate-additive (default)" (Stats.summarize t_rate)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6-1: glitch magnitude vs separation (inertial delay)         *)
+
+let fig6_1 () =
+  let c = Lazy.force ctx in
+  section "Figure 6-1: output glitch vs separation (a falls, b rises)";
+  Printf.printf "  Vil threshold: %.3f V\n" c.th.Vtc.vil;
+  List.iter
+    (fun tau_rise ->
+      subsection
+        (Printf.sprintf "fall(a) = 500 ps, rise(b) = %.0f ps" (ps tau_rise));
+      Printf.printf "  s_rise-fall[ps]   Vmin[V]   completes?\n";
+      let points = if !quick then 8 else 14 in
+      Array.iter
+        (fun sep ->
+          let g =
+            Inertial.glitch c.nand3 c.th ~fall_pin:0 ~rise_pin:1
+              ~tau_fall:500e-12 ~tau_rise ~sep
+          in
+          Printf.printf "  %12.1f   %8.3f   %s\n" (ps sep)
+            g.Inertial.v_extreme
+            (if g.Inertial.full_swing then "yes" else "no"))
+        (Floatx.linspace (-2.5e-9) 0.5e-9 points);
+      let s_min =
+        Inertial.minimum_valid_separation c.nand3 c.th ~fall_pin:0
+          ~rise_pin:1 ~tau_fall:500e-12 ~tau_rise
+      in
+      Printf.printf
+        "  minimum separation for a valid output (inertial delay): %.1f ps\n"
+        (ps s_min))
+    [ 100e-12; 500e-12; 1000e-12 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: alpha-power device model (shape robustness)               *)
+
+let ablation_alpha () =
+  section "Ablation: alpha-power MOSFET model (shape robustness)";
+  let tech = Tech.generic_5v_alpha in
+  let nand3 = Gate.nand tech ~fan_in:3 in
+  let th = Vtc.thresholds ~points:201 nand3 in
+  let models = Models.of_oracle nand3 th in
+  let edge = Measure.Fall in
+  let tau_a = 500e-12 and tau_b = 100e-12 in
+  let d_a = models.Models.delay1 ~pin:0 ~edge ~tau:tau_a in
+  Printf.printf "  thresholds: Vil = %.3f V, Vih = %.3f V\n" th.Vtc.vil th.Vtc.vih;
+  Printf.printf "  s_ab[ps]   delay gold[ps]  model[ps]  err%%\n";
+  let mk_events s =
+    let base = 2.5e-9 in
+    [ event 0 edge tau_a base; event 1 edge tau_b (base +. s) ]
+  in
+  Array.iter
+    (fun s ->
+      let events = mk_events s in
+      let r = Proximity.evaluate models events in
+      let stimuli =
+        List.map
+          (fun (e : Proximity.event) ->
+            ( e.Proximity.pin,
+              { Measure.edge; tau = e.Proximity.tau;
+                cross_time = e.Proximity.cross_time } ))
+          events
+      in
+      let g = Measure.multi_input nand3 th ~stimuli ~ref_pin:r.Proximity.ref_pin in
+      Printf.printf "  %8.1f        %8.1f   %8.1f  %+5.1f\n" (ps s)
+        (ps g.Measure.delay) (ps r.Proximity.delay)
+        ((r.Proximity.delay -. g.Measure.delay) /. g.Measure.delay *. 100.))
+    (Floatx.linspace (-300e-12) d_a (if !quick then 5 else 9))
+
+(* ------------------------------------------------------------------ *)
+(* Generalization: other fan-ins and gate families (paper's §7 future
+   work: "a comprehensive delay model for multi-input gates")           *)
+
+let fanin_sweep () =
+  section "Generalization: ProximityDelay on other gates (beyond the paper)";
+  let tech = Tech.generic_5v in
+  let rng = Prng.create 77L in
+  List.iter
+    (fun (gate, edge, label) ->
+      let th = Vtc.thresholds ~points:201 gate in
+      let models = Models.of_oracle gate th in
+      let n = if !quick then 6 else 15 in
+      let derrs = ref [] and terrs = ref [] in
+      for _ = 1 to n do
+        let base = 2.5e-9 in
+        let events =
+          List.init gate.Gate.fan_in (fun pin ->
+            event pin edge
+              (Prng.float rng ~lo:50e-12 ~hi:1500e-12)
+              (base +. Prng.float rng ~lo:(-400e-12) ~hi:400e-12))
+        in
+        let r = Proximity.evaluate models events in
+        let stimuli =
+          List.map
+            (fun (e : Proximity.event) ->
+              ( e.Proximity.pin,
+                { Measure.edge; tau = e.Proximity.tau;
+                  cross_time = e.Proximity.cross_time } ))
+            events
+        in
+        let g = Measure.multi_input gate th ~stimuli ~ref_pin:r.Proximity.ref_pin in
+        derrs :=
+          ((r.Proximity.delay -. g.Measure.delay) /. g.Measure.delay *. 100.)
+          :: !derrs;
+        terrs :=
+          ((r.Proximity.out_transition -. g.Measure.out_transition)
+           /. g.Measure.out_transition *. 100.)
+          :: !terrs
+      done;
+      let ds = Stats.summarize (Array.of_list !derrs) in
+      let ts = Stats.summarize (Array.of_list !terrs) in
+      Printf.printf
+        "  %-22s delay: mean %+5.2f%% std %5.2f%% [%+6.2f, %+6.2f] | trans:          mean %+5.2f%% std %5.2f%%
+"
+        label ds.Stats.mean ds.Stats.std ds.Stats.min ds.Stats.max ts.Stats.mean
+        ts.Stats.std)
+    [
+      (Gate.nand tech ~fan_in:2, Measure.Fall, "nand2, falling");
+      (Gate.nand tech ~fan_in:4, Measure.Fall, "nand4, falling");
+      (Gate.nand tech ~fan_in:4, Measure.Rise, "nand4, rising");
+      (Gate.nor tech ~fan_in:3, Measure.Rise, "nor3, rising");
+      (Gate.nor tech ~fan_in:3, Measure.Fall, "nor3, falling");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+
+let microbench () =
+  section "Microbenchmarks: model query vs golden simulation";
+  let c = Lazy.force ctx in
+  let single =
+    Proxim_macromodel.Single.build
+      ~taus:(Floatx.logspace 30e-12 4e-9 10)
+      c.nand3 c.th ~pin:0 ~edge:Measure.Fall
+  in
+  let events =
+    [
+      event 0 Measure.Fall 400e-12 2.5e-9;
+      event 1 Measure.Fall 200e-12 2.55e-9;
+      event 2 Measure.Fall 800e-12 2.45e-9;
+    ]
+  in
+  let high = Proxim_waveform.Pwl.constant c.tech.Tech.vdd in
+  let fall = Proxim_waveform.Pwl.ramp ~t0:1e-9 ~width:400e-12 ~v_from:5. ~v_to:0. in
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"single-input table query"
+        (Staged.stage (fun () ->
+           ignore (Proxim_macromodel.Single.delay single ~tau:333e-12)));
+      Test.make ~name:"dominance ordering (3 events, memoized oracle)"
+        (Staged.stage (fun () ->
+           ignore (Proximity.dominance_order c.models events)));
+      Test.make ~name:"full ProximityDelay (memoized oracle)"
+        (Staged.stage (fun () -> ignore (Proximity.evaluate c.models events)));
+      Test.make ~name:"golden transient (NAND3, one input)"
+        (Staged.stage (fun () ->
+           let inst =
+             Gate.instantiate c.nand3 ~inputs:[| fall; high; high |]
+           in
+           ignore
+             (Proxim_spice.Transient.run inst.Gate.net ~t_stop:3e-9)));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if !quick then 0.25 else 1.0))
+      ~kde:(Some 1000) ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ t ] ->
+            let unit_, v =
+              if t > 1e6 then ("ms", t /. 1e6)
+              else if t > 1e3 then ("us", t /. 1e3)
+              else ("ns", t)
+            in
+            Printf.printf "  %-48s %10.2f %s/run\n" name v unit_
+          | Some _ | None -> Printf.printf "  %-48s (no estimate)\n" name)
+        ols)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1_2", fig1_2);
+    ("fig2_1", fig2_1);
+    ("fig3_3", fig3_3);
+    ("fig4_2", fig4_2);
+    ("table5_1", table5_1);
+    ("baseline_cmp", baseline_cmp);
+    ("ablation_correction", ablation_correction);
+    ("ablation_table", ablation_table);
+    ("ablation_composition", ablation_composition);
+    ("fig6_1", fig6_1);
+    ("ablation_alpha", ablation_alpha);
+    ("fanin_sweep", fanin_sweep);
+    ("microbench", microbench);
+  ]
+
+(* ablation_correction shares its output with table5_1; avoid printing it
+   twice on a full run *)
+let default_run =
+  List.filter (fun (name, _) -> name <> "ablation_correction") experiments
+
+let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a ->
+         if String.equal a "--quick" then begin
+           quick := true;
+           false
+         end
+         else true)
+  in
+  let selected =
+    match args with
+    | [] -> default_run
+    | names ->
+      List.map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some fn -> (name, fn)
+          | None ->
+            Printf.eprintf "unknown experiment %s; available: %s\n" name
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+        names
+  in
+  let t_total = Unix.gettimeofday () in
+  List.iter
+    (fun (name, fn) ->
+      let t0 = Unix.gettimeofday () in
+      fn ();
+      Printf.printf "\n[%s: %.1f s]\n" name (Unix.gettimeofday () -. t0))
+    selected;
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t_total)

@@ -1,0 +1,303 @@
+(* proxim: command-line front end to the proximity delay library.
+
+   $ proxim vtc nand3
+   $ proxim delay nand3 --pin a --edge fall --tau 500
+   $ proxim proximity nand3 a:fall:500:0 b:fall:100:50
+   $ proxim glitch nand3 --tau-fall 500 --tau-rise 100 --find-min
+   $ proxim storage --fan-in 4 *)
+
+module Gate = Proxim_gates.Gate
+module Tech = Proxim_gates.Tech
+module Vtc = Proxim_vtc.Vtc
+module Measure = Proxim_measure.Measure
+module Models = Proxim_macromodel.Models
+module Proximity = Proxim_core.Proximity
+module Inertial = Proxim_core.Inertial
+module Storage = Proxim_core.Storage
+module Collapse = Proxim_baseline.Collapse
+
+let ps s = s *. 1e12
+
+let pin_of_string gate s =
+  let fail () =
+    Error (`Msg (Printf.sprintf "unknown pin %s (gate has %d pins: a..%s)" s
+                   gate.Gate.fan_in
+                   (Gate.pin_name (gate.Gate.fan_in - 1))))
+  in
+  if String.length s = 1 then begin
+    let i = Char.code s.[0] - Char.code 'a' in
+    if i >= 0 && i < gate.Gate.fan_in then Ok i else fail ()
+  end
+  else fail ()
+
+let edge_of_string = function
+  | "rise" | "r" | "rising" -> Ok Measure.Rise
+  | "fall" | "f" | "falling" -> Ok Measure.Fall
+  | s -> Error (`Msg (Printf.sprintf "unknown edge %s (rise|fall)" s))
+
+let with_gate name f =
+  let tech = Tech.generic_5v in
+  match Gate.of_name tech name with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok gate -> f gate
+
+(* ------------------------------------------------------------------ *)
+(* vtc                                                                 *)
+
+let run_vtc gate_name =
+  with_gate gate_name (fun gate ->
+    let fam = Vtc.family ~points:301 gate in
+    Printf.printf "VTC family of %s:\n" gate.Gate.name;
+    List.iter (fun c -> Format.printf "  %a@." Vtc.pp_curve c) fam;
+    let th = Vtc.choose fam in
+    Printf.printf "chosen thresholds: Vil = %.3f V, Vih = %.3f V\n" th.Vtc.vil
+      th.Vtc.vih;
+    0)
+
+(* ------------------------------------------------------------------ *)
+(* delay                                                               *)
+
+let run_delay gate_name pin_s edge_s tau_ps load_ff =
+  with_gate gate_name (fun gate ->
+    match (pin_of_string gate pin_s, edge_of_string edge_s) with
+    | Error (`Msg m), _ | _, Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok pin, Ok edge ->
+      let th = Vtc.thresholds gate in
+      let load = Option.map (fun f -> f *. 1e-15) load_ff in
+      let obs =
+        Measure.single_input ?load gate th ~pin ~edge ~tau:(tau_ps *. 1e-12)
+      in
+      Printf.printf
+        "%s pin %s %s tau=%.0fps: delay = %.1f ps, output transition = %.1f \
+         ps\n"
+        gate.Gate.name pin_s edge_s tau_ps
+        (ps obs.Measure.delay)
+        (ps obs.Measure.out_transition);
+      0)
+
+(* ------------------------------------------------------------------ *)
+(* proximity                                                           *)
+
+let parse_event gate s =
+  match String.split_on_char ':' s with
+  | [ pin_s; edge_s; tau_s; t_s ] -> (
+    match (pin_of_string gate pin_s, edge_of_string edge_s) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok pin, Ok edge -> (
+      match (float_of_string_opt tau_s, float_of_string_opt t_s) with
+      | Some tau_ps, Some t_ps ->
+        Ok
+          {
+            Proximity.pin;
+            edge;
+            tau = tau_ps *. 1e-12;
+            cross_time = t_ps *. 1e-12;
+          }
+      | None, _ | _, None ->
+        Error (`Msg (Printf.sprintf "bad numbers in event %s" s))))
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "bad event %s (expected pin:edge:tau_ps:cross_ps, e.g. \
+            a:fall:500:0)"
+           s))
+
+let run_proximity gate_name event_specs baselines =
+  with_gate gate_name (fun gate ->
+    let rec parse_all acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: tl -> (
+        match parse_event gate s with
+        | Ok e -> parse_all (e :: acc) tl
+        | Error e -> Error e)
+    in
+    match parse_all [] event_specs with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok [] ->
+      prerr_endline "need at least one event";
+      1
+    | Ok events ->
+      (* shift all events so every ramp starts at positive time *)
+      let max_tau =
+        List.fold_left
+          (fun acc (e : Proximity.event) -> Float.max acc e.Proximity.tau)
+          0. events
+      in
+      let min_cross =
+        List.fold_left
+          (fun acc (e : Proximity.event) -> Float.min acc e.Proximity.cross_time)
+          infinity events
+      in
+      let shift = max_tau +. 0.3e-9 -. min_cross in
+      let events =
+        List.map
+          (fun (e : Proximity.event) ->
+            { e with Proximity.cross_time = e.Proximity.cross_time +. shift })
+          events
+      in
+      let th = Vtc.thresholds gate in
+      let models = Models.of_oracle gate th in
+      let r = Proximity.evaluate models events in
+      let stimuli =
+        List.map
+          (fun (e : Proximity.event) ->
+            ( e.Proximity.pin,
+              { Measure.edge = e.Proximity.edge; tau = e.Proximity.tau;
+                cross_time = e.Proximity.cross_time } ))
+          events
+      in
+      let golden =
+        Measure.multi_input gate th ~stimuli ~ref_pin:r.Proximity.ref_pin
+      in
+      Printf.printf "dominant input: %s\n" (Gate.pin_name r.Proximity.ref_pin);
+      Printf.printf "inputs inside the proximity window: %d of %d\n"
+        r.Proximity.used_inputs (List.length events);
+      Printf.printf "ProximityDelay : delay = %8.1f ps  transition = %8.1f ps\n"
+        (ps r.Proximity.delay)
+        (ps r.Proximity.out_transition);
+      Printf.printf "golden (SPICE) : delay = %8.1f ps  transition = %8.1f ps\n"
+        (ps golden.Measure.delay)
+        (ps golden.Measure.out_transition);
+      Printf.printf "model error    : delay %+.2f%%, transition %+.2f%%\n"
+        ((r.Proximity.delay -. golden.Measure.delay)
+         /. golden.Measure.delay *. 100.)
+        ((r.Proximity.out_transition -. golden.Measure.out_transition)
+         /. golden.Measure.out_transition *. 100.);
+      if baselines then begin
+        let show variant name =
+          let p = Collapse.predict variant gate th ~events in
+          let delay = p.Collapse.out_cross -. r.Proximity.ref_cross in
+          Printf.printf
+            "%-15s: delay = %8.1f ps  transition = %8.1f ps  (delay err \
+             %+.2f%%)\n"
+            name (ps delay)
+            (ps p.Collapse.out_transition)
+            ((delay -. golden.Measure.delay) /. golden.Measure.delay *. 100.)
+        in
+        show Collapse.Jun "Jun collapse";
+        show Collapse.Nabavi_lishi "Nabavi-Lishi"
+      end;
+      0)
+
+(* ------------------------------------------------------------------ *)
+(* glitch                                                              *)
+
+let run_glitch gate_name fall_pin_s rise_pin_s tau_fall_ps tau_rise_ps sep_ps
+    find_min =
+  with_gate gate_name (fun gate ->
+    match (pin_of_string gate fall_pin_s, pin_of_string gate rise_pin_s) with
+    | Error (`Msg m), _ | _, Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok fall_pin, Ok rise_pin ->
+      let th = Vtc.thresholds gate in
+      let tau_fall = tau_fall_ps *. 1e-12 in
+      let tau_rise = tau_rise_ps *. 1e-12 in
+      if find_min then begin
+        let s =
+          Inertial.minimum_valid_separation gate th ~fall_pin ~rise_pin
+            ~tau_fall ~tau_rise
+        in
+        Printf.printf
+          "minimum separation for a full output transition: %.1f ps\n\
+           (inertial delay: %.1f ps)\n"
+          (ps s) (ps (-.s));
+        0
+      end
+      else begin
+        let sep = sep_ps *. 1e-12 in
+        let g =
+          Inertial.glitch gate th ~fall_pin ~rise_pin ~tau_fall ~tau_rise ~sep
+        in
+        Printf.printf
+          "glitch extreme: %.3f V at t = %.1f ps; output %s a transition\n"
+          g.Inertial.v_extreme (ps g.Inertial.t_extreme)
+          (if g.Inertial.full_swing then "completes" else "does not complete");
+        0
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* storage                                                             *)
+
+let run_storage fan_in points =
+  Format.printf "%a"
+    (fun ppf () -> Storage.pp_comparison ppf ~fan_in ~points_per_axis:points)
+    ();
+  0
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner wiring                                                     *)
+
+open Cmdliner
+
+let gate_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"GATE" ~doc:"Gate type: inv, nandN, norN, aoi21, oai21.")
+
+let vtc_cmd =
+  Cmd.v (Cmd.info "vtc" ~doc:"Print the VTC family and chosen thresholds")
+    Term.(const run_vtc $ gate_arg)
+
+let delay_cmd =
+  let pin = Arg.(value & opt string "a" & info [ "pin" ] ~docv:"PIN") in
+  let edge = Arg.(value & opt string "fall" & info [ "edge" ] ~docv:"EDGE") in
+  let tau =
+    Arg.(value & opt float 500. & info [ "tau" ] ~docv:"PS" ~doc:"transition time, ps")
+  in
+  let load =
+    Arg.(value & opt (some float) None & info [ "load" ] ~docv:"FF" ~doc:"output load, fF")
+  in
+  Cmd.v (Cmd.info "delay" ~doc:"Single-input delay on the golden simulator")
+    Term.(const run_delay $ gate_arg $ pin $ edge $ tau $ load)
+
+let proximity_cmd =
+  let events =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"EVENT"
+          ~doc:"Input events as pin:edge:tau_ps:cross_ps, e.g. a:fall:500:0.")
+  in
+  let baselines =
+    Arg.(value & flag & info [ "baselines" ] ~doc:"Also run the collapse-to-inverter baselines.")
+  in
+  Cmd.v
+    (Cmd.info "proximity"
+       ~doc:"Run ProximityDelay on a set of input events and compare with the golden simulator")
+    Term.(const run_proximity $ gate_arg $ events $ baselines)
+
+let glitch_cmd =
+  let fall_pin = Arg.(value & opt string "a" & info [ "fall-pin" ]) in
+  let rise_pin = Arg.(value & opt string "b" & info [ "rise-pin" ]) in
+  let tau_fall = Arg.(value & opt float 500. & info [ "tau-fall" ] ~docv:"PS") in
+  let tau_rise = Arg.(value & opt float 100. & info [ "tau-rise" ] ~docv:"PS") in
+  let sep = Arg.(value & opt float 0. & info [ "sep" ] ~docv:"PS") in
+  let find_min =
+    Arg.(value & flag & info [ "find-min" ] ~doc:"Bisect for the inertial delay.")
+  in
+  Cmd.v (Cmd.info "glitch" ~doc:"Opposite-transition glitch analysis (paper section 6)")
+    Term.(
+      const run_glitch $ gate_arg $ fall_pin $ rise_pin $ tau_fall $ tau_rise
+      $ sep $ find_min)
+
+let storage_cmd =
+  let fan_in = Arg.(value & opt int 3 & info [ "fan-in" ]) in
+  let points = Arg.(value & opt int 10 & info [ "points" ]) in
+  Cmd.v (Cmd.info "storage" ~doc:"Storage-complexity comparison (paper figure 4-2)")
+    Term.(const run_storage $ fan_in $ points)
+
+let () =
+  let doc = "temporal-proximity gate delay modeling (DAC'96 reproduction)" in
+  let main =
+    Cmd.group (Cmd.info "proxim" ~version:"1.0.0" ~doc)
+      [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; storage_cmd ]
+  in
+  exit (Cmd.eval' main)

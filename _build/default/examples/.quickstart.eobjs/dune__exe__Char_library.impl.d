@@ -1,0 +1,1 @@
+examples/char_library.ml: List Printf Proxim_gates Proxim_macromodel Proxim_measure Proxim_util Proxim_vtc

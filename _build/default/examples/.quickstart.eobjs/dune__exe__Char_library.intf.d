@@ -1,0 +1,1 @@
+examples/char_library.mli:

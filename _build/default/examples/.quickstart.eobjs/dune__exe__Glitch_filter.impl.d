@@ -1,0 +1,1 @@
+examples/glitch_filter.ml: Float List Printf Proxim_core Proxim_gates Proxim_vtc String

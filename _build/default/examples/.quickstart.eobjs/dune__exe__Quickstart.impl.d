@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Proxim_core Proxim_gates Proxim_macromodel Proxim_measure Proxim_vtc

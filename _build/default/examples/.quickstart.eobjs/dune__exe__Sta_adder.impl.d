@@ -1,0 +1,1 @@
+examples/sta_adder.ml: Float List Printf Proxim_gates Proxim_measure Proxim_sta Proxim_vtc String

@@ -1,0 +1,59 @@
+(* Characterizing a small cell library into normalized macromodel tables.
+
+   The macromodels of §3 are dimensionless: Delta/tau and tau_out/tau as
+   functions of C_L/(K Vdd tau).  One table per (cell, pin, edge) then
+   answers queries at ANY load and input slew -- this example builds the
+   tables for a three-cell library and shows the normalized curves plus a
+   load-scaling spot check against the circuit simulator.
+
+   Run with:  dune exec examples/char_library.exe  (~15 s) *)
+
+module Gate = Proxim_gates.Gate
+module Tech = Proxim_gates.Tech
+module Vtc = Proxim_vtc.Vtc
+module Measure = Proxim_measure.Measure
+module Single = Proxim_macromodel.Single
+module Floatx = Proxim_util.Floatx
+
+let ps s = s *. 1e12
+
+let () =
+  let tech = Tech.generic_5v in
+  let library =
+    [ Gate.inverter tech; Gate.nand tech ~fan_in:2; Gate.nor tech ~fan_in:2 ]
+  in
+  List.iter
+    (fun gate ->
+      let th = Vtc.thresholds ~points:201 gate in
+      Printf.printf "cell %-5s  Vil = %.3f V  Vih = %.3f V\n" gate.Gate.name
+        th.Vtc.vil th.Vtc.vih;
+      let model =
+        Single.build ~taus:(Floatx.logspace 30e-12 3e-9 10) gate th ~pin:0
+          ~edge:Measure.Rise
+      in
+      (* the normalized curve: Delta/tau against the dimensionless load *)
+      Printf.printf "  normalized single-input model (pin a, rising):\n";
+      Printf.printf "    C_L/(K Vdd tau)   Delta/tau   tau_out/tau\n";
+      List.iter
+        (fun tau ->
+          let u = Single.argument model ~tau in
+          Printf.printf "    %13.4f   %9.3f   %11.3f\n" u
+            (Single.delay model ~tau /. tau)
+            (Single.out_transition model ~tau /. tau))
+        [ 50e-12; 150e-12; 500e-12; 1500e-12 ];
+      (* load scaling: query the table at a load it was NOT built with and
+         compare against a fresh golden simulation *)
+      let c_load = 250e-15 in
+      let tau = 400e-12 in
+      let predicted = Single.delay ~c_load model ~tau in
+      let golden =
+        Measure.single_input ~load:c_load gate th ~pin:0 ~edge:Measure.Rise
+          ~tau
+      in
+      Printf.printf
+        "  load-scaling check at C_L = 250 fF, tau = 400 ps:\n\
+        \    table %.1f ps vs simulation %.1f ps (%.1f%% error)\n\n"
+        (ps predicted)
+        (ps golden.Measure.delay)
+        ((predicted -. golden.Measure.delay) /. golden.Measure.delay *. 100.))
+    library

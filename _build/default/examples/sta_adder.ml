@@ -1,0 +1,98 @@
+(* Proximity-aware static timing analysis of a NAND-only ripple module.
+
+   The paper's introduction motivates proximity modeling with exactly this
+   situation: reconvergent logic delivers several transitions to one
+   gate's inputs within a few tens of picoseconds, and a classic
+   pin-to-pin STA (one switching input at a time) mispredicts both the
+   arrival and the slew at the gate output.
+
+   The circuit is a two-level NAND tree followed by a merging NAND3 --
+   the NAND-decomposition of a majority/carry function:
+
+        a ---+                                      +-- u5(nand3) -- carry
+        b ---+-- u1(nand2) -- n1 ------------------ |
+        a ---+                                      |
+        c ---+-- u2(nand2) -- n2 ------------------ |
+        b ---+                                      |
+        c ---+-- u3(nand2) -- n3 ------------------ +
+
+   Run with:  dune exec examples/sta_adder.exe  (takes ~10 s: the models
+   are characterized on the fly by the built-in circuit simulator) *)
+
+module Gate = Proxim_gates.Gate
+module Tech = Proxim_gates.Tech
+module Vtc = Proxim_vtc.Vtc
+module Measure = Proxim_measure.Measure
+module Design = Proxim_sta.Design
+module Sta = Proxim_sta.Sta
+
+let ps s = s *. 1e12
+
+let () =
+  let tech = Tech.generic_5v in
+  let nand2 = Gate.nand tech ~fan_in:2 in
+  let nand3 = Gate.nand tech ~fan_in:3 in
+  let cell name gate inputs output =
+    { Design.name; gate; input_nets = inputs; output_net = output }
+  in
+  let design =
+    Design.create
+      ~cells:
+        [
+          cell "u1" nand2 [| "a"; "b" |] "n1";
+          cell "u2" nand2 [| "a"; "c" |] "n2";
+          cell "u3" nand2 [| "b"; "c" |] "n3";
+          cell "u5" nand3 [| "n1"; "n2"; "n3" |] "carry";
+        ]
+      ~primary_inputs:[ "a"; "b"; "c" ]
+      ~primary_outputs:[ "carry" ]
+  in
+  (* characterize with the 3-input gate's conservative thresholds *)
+  let th = Vtc.thresholds nand3 in
+  let models = Sta.oracle_model_factory design th in
+  (* all three primary inputs rise within 30 ps of each other -- the
+     "temporally close transitions" of the paper's Figure 1-1 *)
+  let pi =
+    [
+      ("a", { Sta.time = 0.; slew = 250e-12; edge = Measure.Rise });
+      ("b", { Sta.time = 15e-12; slew = 180e-12; edge = Measure.Rise });
+      ("c", { Sta.time = 30e-12; slew = 400e-12; edge = Measure.Rise });
+    ]
+  in
+  let show label report =
+    Printf.printf "%s\n" label;
+    List.iter
+      (fun (net, (a : Sta.arrival)) ->
+        Printf.printf "  %-6s  t = %7.1f ps  slew = %6.1f ps  (%s)\n" net
+          (ps a.Sta.time) (ps a.Sta.slew)
+          (match a.Sta.edge with Measure.Rise -> "rise" | Measure.Fall -> "fall"))
+      report.Sta.arrivals;
+    match report.Sta.critical_po with
+    | Some (net, a) ->
+      Printf.printf "  critical output %s arrives at %.1f ps\n\n" net
+        (ps a.Sta.time)
+    | None -> Printf.printf "  (no switching output)\n\n"
+  in
+  let classic = Sta.analyze ~mode:Sta.Classic ~models ~thresholds:th design ~pi in
+  let proximity = Sta.analyze ~mode:Sta.Proximity ~models ~thresholds:th design ~pi in
+  show "classic STA (one switching input at a time):" classic;
+  show "proximity-aware STA (ProximityDelay at every gate):" proximity;
+  Printf.printf "critical path (proximity): %s\n"
+    (String.concat " <- " (Sta.critical_path proximity ~po:"carry"));
+  List.iter
+    (fun (net, slack) ->
+      Printf.printf "slack at %s against a 300 ps budget: %+.1f ps\n" net
+        (ps slack))
+    (Sta.po_slacks design proximity ~required:300e-12);
+  match (classic.Sta.critical_po, proximity.Sta.critical_po) with
+  | Some (_, ac), Some (_, ap) ->
+    let diff = ps (ap.Sta.time -. ac.Sta.time) in
+    Printf.printf
+      "classic STA is %s by %.1f ps on this path: the rising primary\n\
+       inputs make n1..n3 fall within a few tens of ps of each other, so\n\
+       the NAND3 sees several conducting PMOS pull-up paths in parallel --\n\
+       an effect a one-switching-input-at-a-time characterization cannot\n\
+       represent.\n"
+      (if diff > 0. then "optimistic" else "pessimistic")
+      (Float.abs diff)
+  | _, _ -> ()

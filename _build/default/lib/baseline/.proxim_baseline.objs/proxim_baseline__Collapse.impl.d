@@ -1,0 +1,1 @@
+lib/baseline/collapse.ml: Array Float List Proxim_core Proxim_gates Proxim_measure Proxim_vtc

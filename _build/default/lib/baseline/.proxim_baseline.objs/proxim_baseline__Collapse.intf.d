@@ -1,0 +1,1 @@
+lib/baseline/collapse.mli: Proxim_core Proxim_gates Proxim_measure Proxim_spice Proxim_vtc

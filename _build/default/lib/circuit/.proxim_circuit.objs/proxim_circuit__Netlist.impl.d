@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Format Hashtbl List Proxim_device Proxim_waveform String

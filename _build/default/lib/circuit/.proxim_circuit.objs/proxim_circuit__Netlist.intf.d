@@ -1,0 +1,1 @@
+lib/circuit/netlist.mli: Format Proxim_device Proxim_waveform

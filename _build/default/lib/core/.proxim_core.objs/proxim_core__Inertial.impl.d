@@ -1,0 +1,1 @@
+lib/core/inertial.ml: Array Float Proxim_gates Proxim_measure Proxim_util Proxim_vtc Proxim_waveform

@@ -1,0 +1,1 @@
+lib/core/inertial.mli: Proxim_gates Proxim_spice Proxim_vtc

@@ -1,0 +1,1 @@
+lib/core/proximity.ml: Float List Proxim_gates Proxim_macromodel Proxim_measure

@@ -1,0 +1,1 @@
+lib/core/proximity.mli: Proxim_gates Proxim_macromodel Proxim_measure Proxim_spice Proxim_vtc

@@ -1,0 +1,44 @@
+module Pwl = Proxim_waveform.Pwl
+module Gate = Proxim_gates.Gate
+module Vtc = Proxim_vtc.Vtc
+module Measure = Proxim_measure.Measure
+module Rootfind = Proxim_util.Rootfind
+
+type glitch = { v_extreme : float; t_extreme : float; full_swing : bool }
+
+let glitch ?opts ?load gate th ~fall_pin ~rise_pin ~tau_fall ~tau_rise ~sep =
+  if fall_pin = rise_pin then invalid_arg "Inertial.glitch: same pin";
+  let margin = 0.3e-9 in
+  let t_fall =
+    margin +. tau_fall +. Float.max 0. (tau_rise -. sep)
+  in
+  let t_rise = t_fall +. sep in
+  let fall_stim = { Measure.edge = Measure.Fall; tau = tau_fall; cross_time = t_fall } in
+  let rise_stim = { Measure.edge = Measure.Rise; tau = tau_rise; cross_time = t_rise } in
+  let base = Gate.noncontrolling_sensitization gate ~pin:fall_pin in
+  let inputs =
+    Array.init gate.Gate.fan_in (fun p ->
+      if p = fall_pin then Measure.ramp_of_stimulus th fall_stim
+      else if p = rise_pin then Measure.ramp_of_stimulus th rise_stim
+      else Pwl.constant base.(p))
+  in
+  let run = Measure.simulate ?opts ?load gate ~inputs in
+  let out = run.Measure.out_wave in
+  let t_extreme, v_extreme =
+    Pwl.extremum out ~lo:(Pwl.start_time out) ~hi:(Pwl.end_time out)
+  in
+  { v_extreme; t_extreme; full_swing = v_extreme <= th.Vtc.vil }
+
+let minimum_valid_separation ?opts ?load ?(search = (-3e-9, 1e-9)) gate th
+    ~fall_pin ~rise_pin ~tau_fall ~tau_rise =
+  let f sep =
+    let g = glitch ?opts ?load gate th ~fall_pin ~rise_pin ~tau_fall ~tau_rise ~sep in
+    g.v_extreme -. th.Vtc.vil
+  in
+  let lo, hi = search in
+  match Rootfind.bisect ~tol:1e-13 ~f lo hi with
+  | root -> root
+  | exception Rootfind.No_bracket ->
+    failwith
+      "Inertial.minimum_valid_separation: glitch never crosses Vil in the \
+       search window"

@@ -1,0 +1,52 @@
+(** Inertial delay as a proximity effect (paper §6).
+
+    When two inputs of a NAND-like gate switch in opposite directions —
+    one falling (enabling the pull-up) and one rising (enabling the
+    pull-down) — a glitch appears at the output whose magnitude depends on
+    the separation between the transitions.  Only when the glitch extreme
+    passes the measurement threshold has the output "completed a
+    transition"; the minimum separation for which that happens {e is} the
+    inertial delay of the gate. *)
+
+type glitch = {
+  v_extreme : float;  (** most extreme output voltage reached, V *)
+  t_extreme : float;  (** when it is reached, s *)
+  full_swing : bool;
+      (** whether the output completed a transition (the extreme passed
+          the relevant measurement threshold) *)
+}
+
+val glitch :
+  ?opts:Proxim_spice.Options.t ->
+  ?load:float ->
+  Proxim_gates.Gate.t ->
+  Proxim_vtc.Vtc.thresholds ->
+  fall_pin:int ->
+  rise_pin:int ->
+  tau_fall:float ->
+  tau_rise:float ->
+  sep:float ->
+  glitch
+(** Simulate the opposite-transition pair on the golden simulator.
+    [sep] is the rise-pin threshold crossing minus the fall-pin
+    threshold crossing (negative = the rising input comes first).
+    For a NAND-like gate the output rests high and the glitch is
+    negative-going, so [v_extreme] is the output minimum and
+    [full_swing] tests [v_extreme <= Vil]. *)
+
+val minimum_valid_separation :
+  ?opts:Proxim_spice.Options.t ->
+  ?load:float ->
+  ?search:float * float ->
+  Proxim_gates.Gate.t ->
+  Proxim_vtc.Vtc.thresholds ->
+  fall_pin:int ->
+  rise_pin:int ->
+  tau_fall:float ->
+  tau_rise:float ->
+  float
+(** The inertial delay: the separation at which the glitch magnitude
+    exactly reaches [Vil], found by bisection over [search] (default
+    [-3 ns, +1 ns]; more negative separations let the rising input act
+    first and complete the transition).  Raises [Failure] when the glitch
+    never/always completes inside the search window. *)

@@ -1,0 +1,168 @@
+module Measure = Proxim_measure.Measure
+module Models = Proxim_macromodel.Models
+module Gate = Proxim_gates.Gate
+
+type event = {
+  pin : int;
+  edge : Measure.edge;
+  tau : float;
+  cross_time : float;
+}
+
+type result = {
+  ref_pin : int;
+  ref_cross : float;
+  delay : float;
+  out_transition : float;
+  used_inputs : int;
+}
+
+let check_events events =
+  match events with
+  | [] -> invalid_arg "Proximity: no input events"
+  | first :: rest ->
+    if List.exists (fun e -> e.edge <> first.edge) rest then
+      invalid_arg "Proximity: mixed edge directions";
+    first.edge
+
+(* Dominance (§3): the dominant input is the one whose would-be
+   single-input output crossing [t_i + Delta_i^(1)] lies closest to the
+   combined response.  When the switching transistors assist each other
+   (parallel branches in the driving network, e.g. falling NAND inputs or
+   rising NOR inputs) the combined response tracks the EARLIEST would-be
+   crossing; when they gate each other (a series stack) it waits for the
+   LATEST.  Both orderings share the paper's crossover point
+   [s_ij = Delta_i^(1) - Delta_j^(1)]. *)
+let dominance_order (models : Models.t) events =
+  let edge = check_events events in
+  let pins = List.map (fun e -> e.pin) events in
+  let assist = models.Models.assist ~edge ~pins in
+  let keyed =
+    List.map
+      (fun e ->
+        let d1 = models.Models.delay1 ~pin:e.pin ~edge ~tau:e.tau in
+        (e.cross_time +. d1, e))
+      events
+  in
+  let ascending (a, _) (b, _) = compare a b in
+  let order = if assist then ascending else fun a b -> ascending b a in
+  List.map snd (List.sort order keyed)
+
+type correction = { delay_err : float; trans_err : float }
+
+let no_correction = { delay_err = 0.; trans_err = 0. }
+
+type trans_composition = Additive | Rate_additive
+
+(* Fig 4-1, with the output-transition variant folded into the same loop.
+   Per-iteration state:
+   - [d_cum] : Delta^(i-1) with respect to y1
+   - [t_cum] : tau_out^(i-1)
+   - [last_s], [d_before_last]: separation of the last in-window input and
+     the cumulative delay at which it was processed (correction weight).
+
+   Windows (§3 end): an input beyond the current cumulative delay cannot
+   affect the delay but still shapes the output transition until
+   [Delta + tau_out]; an input beyond that is ignored entirely.  For
+   gating (series-stack) transitions the window logic is not needed:
+   inputs that conducted long before the dominant one yield a dual-model
+   ratio of 1 and drop out by saturation. *)
+let evaluate ?(correction = no_correction)
+    ?(trans_composition = Rate_additive) (models : Models.t) events =
+  let edge = check_events events in
+  let assist =
+    models.Models.assist ~edge ~pins:(List.map (fun e -> e.pin) events)
+  in
+  match dominance_order models events with
+  | [] -> assert false
+  | y1 :: rest ->
+    let d1_ref = models.Models.delay1 ~pin:y1.pin ~edge ~tau:y1.tau in
+    let t1_ref = models.Models.trans1 ~pin:y1.pin ~edge ~tau:y1.tau in
+    let compose_trans t_cum t2 =
+      match trans_composition with
+      | Additive -> t_cum +. (t2 -. t1_ref)
+      | Rate_additive -> 1. /. ((1. /. t_cum) +. (1. /. t2) -. (1. /. t1_ref))
+    in
+    let rec fold rest ~d_cum ~t_cum ~used ~last_s ~d_before_last =
+      match rest with
+      | [] -> (d_cum, t_cum, used, last_s, d_before_last)
+      | yi :: tl ->
+        let s = yi.cross_time -. y1.cross_time in
+        let in_delay_window = (not assist) || s < d_cum in
+        let in_trans_window = (not assist) || s < d_cum +. t_cum in
+        if not in_trans_window then
+          (* events are dominance-ordered, so for assisting inputs every
+             remaining one is even further out *)
+          (d_cum, t_cum, used, last_s, d_before_last)
+        else begin
+          (* equivalent waveform (eq 4.3): shift y1 so its single-input
+             response crosses the threshold when the cumulative response
+             does *)
+          let s_star = s +. d1_ref -. d_cum in
+          let t2 =
+            models.Models.trans2 ~dom:y1.pin ~other:yi.pin ~edge
+              ~tau_dom:y1.tau ~tau_other:yi.tau ~sep:s_star
+          in
+          let t_cum' = compose_trans t_cum t2 in
+          if in_delay_window then begin
+            let d2 =
+              models.Models.delay2 ~dom:y1.pin ~other:yi.pin ~edge
+                ~tau_dom:y1.tau ~tau_other:yi.tau ~sep:s_star
+            in
+            let d_cum' = d_cum +. (d2 -. d1_ref) in
+            fold tl ~d_cum:d_cum' ~t_cum:t_cum' ~used:(used + 1) ~last_s:s
+              ~d_before_last:d_cum
+          end
+          else
+            fold tl ~d_cum ~t_cum:t_cum' ~used:(used + 1) ~last_s
+              ~d_before_last
+        end
+    in
+    let d_cum, t_cum, used, last_s, d_before_last =
+      fold rest ~d_cum:d1_ref ~t_cum:t1_ref ~used:1 ~last_s:0.
+        ~d_before_last:d1_ref
+    in
+    (* correction term (§4): full weight for a simultaneous(-or-earlier)
+       last in-window input, linear decay to zero as its separation
+       approaches the cumulative delay.  For gating (series) transitions
+       the decay is applied to |s| (the failure mode is simultaneity,
+       approached from the other side). *)
+    let weight =
+      if used < 2 || d_before_last <= 0. then 0.
+      else if assist then begin
+        if last_s <= 0. then 1.
+        else if last_s >= d_before_last then 0.
+        else 1. -. (last_s /. d_before_last)
+      end
+      else begin
+        let mag = Float.abs last_s in
+        if mag >= d_before_last then 0. else 1. -. (mag /. d_before_last)
+      end
+    in
+    {
+      ref_pin = y1.pin;
+      ref_cross = y1.cross_time;
+      delay = d_cum +. (weight *. correction.delay_err);
+      out_transition = t_cum +. (weight *. correction.trans_err);
+      used_inputs = used;
+    }
+
+let calibrate_correction ?opts ?(tau_step = 20e-12) gate th models ~edge =
+  let fan_in = gate.Gate.fan_in in
+  let cross_time = tau_step +. 0.3e-9 in
+  let events =
+    List.init fan_in (fun pin -> { pin; edge; tau = tau_step; cross_time })
+  in
+  let stimuli =
+    List.map
+      (fun e -> (e.pin, { Measure.edge; tau = e.tau; cross_time = e.cross_time }))
+      events
+  in
+  let predicted = evaluate models events in
+  let golden =
+    Measure.multi_input ?opts gate th ~stimuli ~ref_pin:predicted.ref_pin
+  in
+  {
+    delay_err = golden.Measure.delay -. predicted.delay;
+    trans_err = golden.Measure.out_transition -. predicted.out_transition;
+  }

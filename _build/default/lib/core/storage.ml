@@ -1,0 +1,36 @@
+type scheme = Full | Pair_matrix | Compositional
+
+let model_count scheme ~fan_in =
+  assert (fan_in >= 1);
+  match scheme with
+  | Full -> fan_in
+  | Pair_matrix -> fan_in + ((fan_in * fan_in) - fan_in)
+  | Compositional -> 2 * fan_in
+
+let max_arguments scheme ~fan_in =
+  match scheme with
+  | Full -> (2 * fan_in) - 1
+  | Pair_matrix | Compositional -> if fan_in >= 2 then 3 else 1
+
+let table_cells scheme ~fan_in ~points_per_axis =
+  let p = float_of_int points_per_axis in
+  let n = float_of_int fan_in in
+  match scheme with
+  | Full -> n *. (p ** float_of_int ((2 * fan_in) - 1))
+  | Pair_matrix -> (n *. p) +. (((n *. n) -. n) *. (p ** 3.))
+  | Compositional -> (n *. p) +. (n *. (p ** 3.))
+
+let with_transition cells = 2. *. cells
+
+let pp_comparison ppf ~fan_in ~points_per_axis =
+  let row name scheme =
+    Format.fprintf ppf "  %-14s %4d models, <=%2d args, %.3g table cells@."
+      name
+      (model_count scheme ~fan_in)
+      (max_arguments scheme ~fan_in)
+      (table_cells scheme ~fan_in ~points_per_axis)
+  in
+  Format.fprintf ppf "fan-in %d (p = %d points/axis):@." fan_in points_per_axis;
+  row "full" Full;
+  row "pair-matrix" Pair_matrix;
+  row "compositional" Compositional

@@ -1,0 +1,35 @@
+(** Storage-complexity accounting for the modeling options of Figure 4-2.
+
+    Three ways to model the proximity delay of an [n]-input gate:
+
+    - {b Full}: [n] functions of [2n - 1] arguments (eq 4.1) — exact but
+      the table size is exponential in fan-in;
+    - {b Pair matrix}: [n] single-input (1-argument) macromodels plus
+      [n^2 - n] dual-input (3-argument) macromodels — the naive
+      compositional inventory;
+    - {b Compositional}: the paper's observation that [n] dual-input
+      macromodels suffice in practice, for [2n] macromodels total.
+
+    All counts are for {e delay only}; the paper doubles them for the
+    output transition time, as does {!with_transition}. *)
+
+type scheme = Full | Pair_matrix | Compositional
+
+val model_count : scheme -> fan_in:int -> int
+(** Number of distinct macromodel functions. *)
+
+val max_arguments : scheme -> fan_in:int -> int
+(** Arity of the widest function in the scheme. *)
+
+val table_cells : scheme -> fan_in:int -> points_per_axis:int -> float
+(** Total table cells when every function is tabulated with
+    [points_per_axis] samples per argument.  Returned as float because
+    the [Full] scheme overflows 63-bit integers already at moderate
+    fan-in. *)
+
+val with_transition : float -> float
+(** Double a delay-only figure to account for the transition-time models. *)
+
+val pp_comparison :
+  Format.formatter -> fan_in:int -> points_per_axis:int -> unit
+(** Render the three rows of the Figure 4-2 comparison for one fan-in. *)

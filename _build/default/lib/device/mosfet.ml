@@ -1,0 +1,122 @@
+type polarity = Nmos | Pmos
+
+type model_kind = Shichman_hodges | Alpha_power of float
+
+type params = {
+  polarity : polarity;
+  vt0 : float;
+  kp : float;
+  lambda : float;
+  w : float;
+  l : float;
+  kind : model_kind;
+}
+
+let beta p = p.kp *. p.w /. p.l
+let k_strength p = 0.5 *. beta p
+
+type eval = {
+  id : float;
+  did_dvg : float;
+  did_dvd : float;
+  did_dvs : float;
+}
+
+(* Core NMOS-convention current: given vgs, vds >= 0 (already normalized),
+   return (ids, d/dvgs, d/dvds).  [vt] is the positive threshold. *)
+let nmos_current p ~vgs ~vds =
+  let vt = (match p.polarity with Nmos -> p.vt0 | Pmos -> -.p.vt0) in
+  let vov = vgs -. vt in
+  if vov <= 0. then (0., 0., 0.)
+  else begin
+    let b = beta p in
+    let clm = 1. +. (p.lambda *. vds) in
+    match p.kind with
+    | Shichman_hodges ->
+      if vds < vov then begin
+        (* linear (triode): Id = b * (vov*vds - vds^2/2) * (1 + lambda vds) *)
+        let core = (vov *. vds) -. (0.5 *. vds *. vds) in
+        let id = b *. core *. clm in
+        let dvgs = b *. vds *. clm in
+        let dvds = (b *. (vov -. vds) *. clm) +. (b *. core *. p.lambda) in
+        (id, dvgs, dvds)
+      end
+      else begin
+        (* saturation: Id = (b/2) vov^2 (1 + lambda vds) *)
+        let id = 0.5 *. b *. vov *. vov *. clm in
+        let dvgs = b *. vov *. clm in
+        let dvds = 0.5 *. b *. vov *. vov *. p.lambda in
+        (id, dvgs, dvds)
+      end
+    | Alpha_power alpha ->
+      (* Simplified Sakurai–Newton: Id_sat = (b/2) vov^alpha (1+l vds),
+         Vdsat = vov, triode Id = Id_sat0 * (2 - vds/vdsat)(vds/vdsat).
+         alpha = 2 recovers Shichman–Hodges exactly. *)
+      let idsat0 = 0.5 *. b *. (vov ** alpha) in
+      let didsat0_dvgs = 0.5 *. b *. alpha *. (vov ** (alpha -. 1.)) in
+      if vds < vov then begin
+        let u = vds /. vov in
+        let shape = u *. (2. -. u) in
+        let id = idsat0 *. shape *. clm in
+        (* d shape/d vds = (2 - 2u)/vov ; d shape/d vgs via u = vds/vov *)
+        let dshape_dvds = (2. -. (2. *. u)) /. vov in
+        let dshape_dvgs = (2. *. u *. (u -. 1.)) /. vov in
+        let dvgs =
+          ((didsat0_dvgs *. shape) +. (idsat0 *. dshape_dvgs)) *. clm
+        in
+        let dvds =
+          (idsat0 *. dshape_dvds *. clm) +. (idsat0 *. shape *. p.lambda)
+        in
+        (id, dvgs, dvds)
+      end
+      else begin
+        let id = idsat0 *. clm in
+        let dvgs = didsat0_dvgs *. clm in
+        let dvds = idsat0 *. p.lambda in
+        (id, dvgs, dvds)
+      end
+  end
+
+(* Normalize polarity and diffusion orientation, evaluate, and map the
+   derivatives back to absolute terminal voltages. *)
+let eval p ~vg ~vd ~vs =
+  (* Polarity transform: a PMOS behaves as an NMOS with all voltages
+     negated (and current direction flipped back at the end). *)
+  let sgn, vg, vd, vs =
+    match p.polarity with
+    | Nmos -> (1., vg, vd, vs)
+    | Pmos -> (-1., -.vg, -.vd, -.vs)
+  in
+  (* Diffusion symmetry: if vd < vs the channel conducts in reverse. *)
+  let swapped = vd < vs in
+  let vd', vs' = if swapped then (vs, vd) else (vd, vs) in
+  let vgs = vg -. vs' and vds = vd' -. vs' in
+  let ids, dvgs, dvds = nmos_current p ~vgs ~vds in
+  (* In normalized space: Id flows d' -> s'.
+     d Id / d vg = dvgs; d Id / d vd' = dvds; d Id / d vs' = -dvgs - dvds. *)
+  let did_dvg_n = dvgs in
+  let did_dvd'_n = dvds in
+  let did_dvs'_n = -.dvgs -. dvds in
+  let id_n, dvd_n, dvs_n =
+    if swapped then
+      (* actual drain current = -Id (current flowed s' -> d' in actual
+         orientation); actual vd is normalized vs' and vice versa *)
+      (-.ids, -.did_dvs'_n, -.did_dvd'_n)
+    else (ids, did_dvd'_n, did_dvs'_n)
+  in
+  let dvg_n = if swapped then -.did_dvg_n else did_dvg_n in
+  (* Undo polarity negation: Id_actual = sgn * Id_n(vg_n = sgn*vg, ...)
+     => d Id_actual / d v_actual = sgn * dId_n/dv_n * sgn = dId_n/dv_n. *)
+  { id = sgn *. id_n; did_dvg = dvg_n; did_dvd = dvd_n; did_dvs = dvs_n }
+
+let region p ~vg ~vd ~vs =
+  let vg, vd, vs =
+    match p.polarity with
+    | Nmos -> (vg, vd, vs)
+    | Pmos -> (-.vg, -.vd, -.vs)
+  in
+  let vd', vs' = if vd < vs then (vs, vd) else (vd, vs) in
+  let vt = (match p.polarity with Nmos -> p.vt0 | Pmos -> -.p.vt0) in
+  let vov = vg -. vs' -. vt in
+  let vds = vd' -. vs' in
+  if vov <= 0. then "cutoff" else if vds < vov then "linear" else "saturation"

@@ -1,0 +1,1 @@
+lib/gates/gate.ml: Array Char Hashtbl List Option Printf Proxim_circuit Proxim_waveform String Tech

@@ -1,0 +1,1 @@
+lib/gates/gate.mli: Proxim_circuit Proxim_waveform Tech

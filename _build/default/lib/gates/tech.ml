@@ -1,0 +1,64 @@
+module Mosfet = Proxim_device.Mosfet
+
+type t = {
+  name : string;
+  vdd : float;
+  vtn : float;
+  vtp : float;
+  kp_n : float;
+  kp_p : float;
+  lambda_n : float;
+  lambda_p : float;
+  l_min : float;
+  cg_per_width : float;
+  cd_per_width : float;
+  kind : Mosfet.model_kind;
+}
+
+let generic_5v =
+  {
+    name = "generic-0.8um-5V";
+    vdd = 5.0;
+    vtn = 0.7;
+    vtp = -0.8;
+    kp_n = 120e-6;
+    kp_p = 40e-6;
+    lambda_n = 0.05;
+    lambda_p = 0.05;
+    l_min = 0.8e-6;
+    cg_per_width = 2.0e-9;
+    cd_per_width = 1.5e-9;
+    kind = Mosfet.Shichman_hodges;
+  }
+
+let generic_5v_alpha =
+  {
+    generic_5v with
+    name = "generic-0.8um-5V-alpha1.3";
+    kind = Mosfet.Alpha_power 1.3;
+  }
+
+let nmos t ~w =
+  {
+    Mosfet.polarity = Mosfet.Nmos;
+    vt0 = t.vtn;
+    kp = t.kp_n;
+    lambda = t.lambda_n;
+    w;
+    l = t.l_min;
+    kind = t.kind;
+  }
+
+let pmos t ~w =
+  {
+    Mosfet.polarity = Mosfet.Pmos;
+    vt0 = t.vtp;
+    kp = t.kp_p;
+    lambda = t.lambda_p;
+    w;
+    l = t.l_min;
+    kind = t.kind;
+  }
+
+let k_n t ~w = Mosfet.k_strength (nmos t ~w)
+let k_p t ~w = Mosfet.k_strength (pmos t ~w)

@@ -1,0 +1,39 @@
+(** Technology cards.
+
+    The paper validates on a 5 V CMOS process whose exact card is not
+    published; {!generic_5v} is a self-contained generic sub-micron card
+    with the same qualitative behaviour (see DESIGN.md, substitutions).
+    All experiments take the card as a parameter so alternative processes
+    (or the alpha-power model) can be swapped in. *)
+
+type t = {
+  name : string;
+  vdd : float;  (** supply, V *)
+  vtn : float;  (** NMOS threshold, V (positive) *)
+  vtp : float;  (** PMOS threshold, V (negative) *)
+  kp_n : float;  (** NMOS process transconductance mu*Cox, A/V^2 *)
+  kp_p : float;  (** PMOS process transconductance, A/V^2 *)
+  lambda_n : float;  (** channel-length modulation, 1/V *)
+  lambda_p : float;
+  l_min : float;  (** drawn channel length, m *)
+  cg_per_width : float;  (** gate capacitance per channel width, F/m *)
+  cd_per_width : float;  (** diffusion capacitance per channel width, F/m *)
+  kind : Proxim_device.Mosfet.model_kind;
+}
+
+val generic_5v : t
+(** A 0.8 um-class 5 V card (Shichman–Hodges). *)
+
+val generic_5v_alpha : t
+(** Same card with the alpha-power model ([alpha = 1.3]), for the
+    model-sensitivity ablation. *)
+
+val nmos : t -> w:float -> Proxim_device.Mosfet.params
+(** NMOS device parameters of width [w] at minimum length. *)
+
+val pmos : t -> w:float -> Proxim_device.Mosfet.params
+
+val k_n : t -> w:float -> float
+(** The paper's strength [K] of an NMOS of width [w] (A/V^2). *)
+
+val k_p : t -> w:float -> float

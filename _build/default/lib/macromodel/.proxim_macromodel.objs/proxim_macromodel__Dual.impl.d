@@ -1,0 +1,1 @@
+lib/macromodel/dual.ml: Array Buffer Float Fun List Printf Proxim_gates Proxim_measure Proxim_util Proxim_vtc Single String

@@ -1,0 +1,1 @@
+lib/macromodel/liberty.ml: Array Buffer List Printf Proxim_gates Proxim_measure Proxim_util Single String

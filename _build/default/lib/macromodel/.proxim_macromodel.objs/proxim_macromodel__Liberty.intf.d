@@ -1,0 +1,1 @@
+lib/macromodel/liberty.mli: Single

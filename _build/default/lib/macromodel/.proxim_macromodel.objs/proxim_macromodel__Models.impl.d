@@ -1,0 +1,1 @@
+lib/macromodel/models.ml: Dual Hashtbl Proxim_gates Proxim_measure Single

@@ -1,0 +1,1 @@
+lib/macromodel/models.mli: Proxim_gates Proxim_measure Proxim_spice Proxim_vtc

@@ -1,0 +1,1 @@
+lib/macromodel/single.ml: Array Buffer List Option Printf Proxim_gates Proxim_measure Proxim_util Proxim_vtc Scanf String

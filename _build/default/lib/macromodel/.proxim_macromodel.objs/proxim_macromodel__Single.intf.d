@@ -1,0 +1,1 @@
+lib/macromodel/single.mli: Proxim_gates Proxim_measure Proxim_spice Proxim_vtc

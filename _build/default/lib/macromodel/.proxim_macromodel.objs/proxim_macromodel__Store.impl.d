@@ -1,0 +1,1 @@
+lib/macromodel/store.ml: Buffer Dual Fun List Models Printf Proxim_gates Proxim_measure Proxim_vtc Scanf Single String

@@ -1,0 +1,1 @@
+lib/macromodel/store.mli: Dual Models Proxim_gates Proxim_measure Proxim_spice Proxim_vtc Single

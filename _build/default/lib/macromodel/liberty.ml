@@ -1,0 +1,114 @@
+module Gate = Proxim_gates.Gate
+module Measure = Proxim_measure.Measure
+module Floatx = Proxim_util.Floatx
+
+type table_axes = { slews : float array; loads : float array }
+
+let default_axes =
+  {
+    slews = Floatx.logspace 50e-12 2e-9 6;
+    loads = Floatx.logspace 20e-15 500e-15 6;
+  }
+
+let ns s = s *. 1e9
+let pf f = f *. 1e12
+
+let render_axis to_unit axis =
+  String.concat ", "
+    (Array.to_list (Array.map (fun v -> Printf.sprintf "%.5f" (to_unit v)) axis))
+
+(* one lu_table body: rows indexed by slew, columns by load *)
+let render_values buf ~axes ~f =
+  Buffer.add_string buf "        values ( \\\n";
+  Array.iteri
+    (fun i slew ->
+      let row =
+        String.concat ", "
+          (Array.to_list
+             (Array.map (fun load -> Printf.sprintf "%.5f" (ns (f ~slew ~load)))
+                axes.loads))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "          \"%s\"%s \\\n" row
+           (if i = Array.length axes.slews - 1 then "" else ",")))
+    axes.slews;
+  Buffer.add_string buf "        );\n"
+
+let render_table buf ~axes ~group ~f =
+  Buffer.add_string buf (Printf.sprintf "      %s (proxim_6x6) {\n" group);
+  Buffer.add_string buf
+    (Printf.sprintf "        index_1 (\"%s\");\n" (render_axis ns axes.slews));
+  Buffer.add_string buf
+    (Printf.sprintf "        index_2 (\"%s\");\n" (render_axis pf axes.loads));
+  render_values buf ~axes ~f;
+  Buffer.add_string buf "      }\n"
+
+(* A rising INPUT produces a falling output on these inverting gates, so
+   the Liberty "cell_fall" table is driven by the rise-edge macromodel. *)
+let render_timing buf ~axes ~(rise : Single.t) ~(fall : Single.t) ~related =
+  Buffer.add_string buf "    timing () {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "      related_pin : \"%s\";\n" related);
+  Buffer.add_string buf "      timing_sense : negative_unate;\n";
+  render_table buf ~axes ~group:"cell_fall" ~f:(fun ~slew ~load ->
+    Single.delay ~c_load:load rise ~tau:slew);
+  render_table buf ~axes ~group:"fall_transition" ~f:(fun ~slew ~load ->
+    Single.out_transition ~c_load:load rise ~tau:slew);
+  render_table buf ~axes ~group:"cell_rise" ~f:(fun ~slew ~load ->
+    Single.delay ~c_load:load fall ~tau:slew);
+  render_table buf ~axes ~group:"rise_transition" ~f:(fun ~slew ~load ->
+    Single.out_transition ~c_load:load fall ~tau:slew);
+  Buffer.add_string buf "    }\n"
+
+let cell ?(axes = default_axes) ~gate_name ~singles ~input_capacitance () =
+  if singles = [] then invalid_arg "Liberty.cell: no models";
+  let pins =
+    List.sort_uniq compare (List.map Single.pin singles)
+  in
+  let find pin edge =
+    List.find_opt
+      (fun s -> Single.pin s = pin && Single.edge s = edge)
+      singles
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "  cell (%s) {\n" gate_name);
+  List.iter
+    (fun pin ->
+      let name = Gate.pin_name pin in
+      Buffer.add_string buf (Printf.sprintf "    pin (%s) {\n" name);
+      Buffer.add_string buf "      direction : input;\n";
+      Buffer.add_string buf
+        (Printf.sprintf "      capacitance : %.5f;\n" (pf input_capacitance));
+      Buffer.add_string buf "    }\n")
+    pins;
+  Buffer.add_string buf "    pin (z) {\n";
+  Buffer.add_string buf "      direction : output;\n";
+  Buffer.add_string buf
+    (Printf.sprintf "      function : \"%s\";\n"
+       (* inverting gate; emit a NAND-style function over the pins *)
+       ("!(" ^ String.concat " & " (List.map Gate.pin_name pins) ^ ")"));
+  List.iter
+    (fun pin ->
+      match (find pin Measure.Rise, find pin Measure.Fall) with
+      | Some rise, Some fall ->
+        render_timing buf ~axes ~rise ~fall ~related:(Gate.pin_name pin)
+      | None, _ | _, None -> ())
+    pins;
+  Buffer.add_string buf "    }\n";
+  Buffer.add_string buf "  }\n";
+  Buffer.contents buf
+
+let library ~name ~cells =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Printf.sprintf "library (%s) {\n" name);
+  Buffer.add_string buf "  delay_model : table_lookup;\n";
+  Buffer.add_string buf "  time_unit : \"1ns\";\n";
+  Buffer.add_string buf "  capacitive_load_unit (1, pf);\n";
+  Buffer.add_string buf "  voltage_unit : \"1V\";\n";
+  Buffer.add_string buf "  lu_table_template (proxim_6x6) {\n";
+  Buffer.add_string buf "    variable_1 : input_net_transition;\n";
+  Buffer.add_string buf "    variable_2 : total_output_net_capacitance;\n";
+  Buffer.add_string buf "  }\n";
+  List.iter (fun c -> Buffer.add_string buf c) cells;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Export characterized gates as a minimal Liberty-style (.lib) text.
+
+    Downstream STA tools consume NLDM tables: pin-to-pin delay and output
+    transition indexed by input slew and output load.  This module renders
+    the {!Single} macromodels in that shape — the dimensionless form makes
+    the table generation a pure lookup, no further simulation needed.
+
+    The output is intentionally a conservative subset of Liberty syntax
+    (library/cell/pin/timing groups with [lu_table] templates); it is
+    accepted by common readers for delay/slew purposes but carries no
+    power, constraint or noise data.  Proximity (multi-input-switching)
+    behaviour cannot be expressed in NLDM at all — exporting makes the
+    modeling gap of classic flows concrete, which is the paper's point. *)
+
+type table_axes = {
+  slews : float array;  (** input transition times, s *)
+  loads : float array;  (** output loads, F *)
+}
+
+val default_axes : table_axes
+(** 6 slews (50 ps .. 2 ns, log) x 6 loads (20 fF .. 500 fF, log). *)
+
+val cell :
+  ?axes:table_axes ->
+  gate_name:string ->
+  singles:Single.t list ->
+  input_capacitance:float ->
+  unit ->
+  string
+(** Render one [cell] group.  Each pin with characterized rise and fall
+    models gets a [timing] group per direction; pins are named by
+    {!Proxim_gates.Gate.pin_name}.  Raises [Invalid_argument] when
+    [singles] is empty. *)
+
+val library : name:string -> cells:string list -> string
+(** Wrap rendered cells in a [library] group with the unit declarations
+    (ns, pF) matching the table values. *)

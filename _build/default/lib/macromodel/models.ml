@@ -1,0 +1,103 @@
+module Gate = Proxim_gates.Gate
+module Measure = Proxim_measure.Measure
+
+type t = {
+  fan_in : int;
+  name : string;
+  assist : edge:Measure.edge -> pins:int list -> bool;
+  delay1 : pin:int -> edge:Measure.edge -> tau:float -> float;
+  trans1 : pin:int -> edge:Measure.edge -> tau:float -> float;
+  delay2 :
+    dom:int ->
+    other:int ->
+    edge:Measure.edge ->
+    tau_dom:float ->
+    tau_other:float ->
+    sep:float ->
+    float;
+  trans2 :
+    dom:int ->
+    other:int ->
+    edge:Measure.edge ->
+    tau_dom:float ->
+    tau_other:float ->
+    sep:float ->
+    float;
+}
+
+let memo tbl key f =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    Hashtbl.add tbl key v;
+    v
+
+let of_oracle ?opts ?load gate th =
+  let single_cache = Hashtbl.create 64 in
+  let dual_cache = Hashtbl.create 256 in
+  let single ~pin ~edge ~tau =
+    memo single_cache (pin, edge, tau) (fun () ->
+      Measure.single_input ?opts ?load gate th ~pin ~edge ~tau)
+  in
+  let dual ~dom ~other ~edge ~tau_dom ~tau_other ~sep =
+    memo dual_cache (dom, other, edge, tau_dom, tau_other, sep) (fun () ->
+      Dual.oracle ?opts ?load gate th ~dom ~other ~edge ~tau_dom ~tau_other
+        ~sep)
+  in
+  {
+    fan_in = gate.Gate.fan_in;
+    name = "oracle:" ^ gate.Gate.name;
+    assist =
+      (fun ~edge ~pins ->
+        Gate.switching_assist gate ~pins
+          ~output_rising:(edge = Measure.Fall));
+    delay1 = (fun ~pin ~edge ~tau -> (single ~pin ~edge ~tau).Measure.delay);
+    trans1 =
+      (fun ~pin ~edge ~tau -> (single ~pin ~edge ~tau).Measure.out_transition);
+    delay2 =
+      (fun ~dom ~other ~edge ~tau_dom ~tau_other ~sep ->
+        (dual ~dom ~other ~edge ~tau_dom ~tau_other ~sep).Measure.delay);
+    trans2 =
+      (fun ~dom ~other ~edge ~tau_dom ~tau_other ~sep ->
+        (dual ~dom ~other ~edge ~tau_dom ~tau_other ~sep)
+          .Measure.out_transition);
+  }
+
+let of_tables ?opts ?taus ?x_tau ?x_sep ?(share_others = false) gate th =
+  let singles = Hashtbl.create 8 in
+  let duals = Hashtbl.create 16 in
+  let single ~pin ~edge =
+    memo singles (pin, edge) (fun () ->
+      Single.build ?taus ?opts gate th ~pin ~edge)
+  in
+  let dual ~dom ~other ~edge =
+    (* with sharing, one representative other pin per dominant pin *)
+    let other = if share_others then (if dom = 0 then 1 else 0) else other in
+    memo duals (dom, other, edge) (fun () ->
+      let single_dom = single ~pin:dom ~edge in
+      let single_other = single ~pin:other ~edge in
+      Dual.build ?x_tau ?x_sep ?opts gate th ~single_dom ~single_other ~other)
+  in
+  {
+    fan_in = gate.Gate.fan_in;
+    name = "tables:" ^ gate.Gate.name;
+    assist =
+      (fun ~edge ~pins ->
+        Gate.switching_assist gate ~pins
+          ~output_rising:(edge = Measure.Fall));
+    delay1 =
+      (fun ~pin ~edge ~tau -> Single.delay (single ~pin ~edge) ~tau);
+    trans1 =
+      (fun ~pin ~edge ~tau -> Single.out_transition (single ~pin ~edge) ~tau);
+    delay2 =
+      (fun ~dom ~other ~edge ~tau_dom ~tau_other ~sep ->
+        Dual.delay (dual ~dom ~other ~edge)
+          ~single_dom:(single ~pin:dom ~edge)
+          ~single_other:(single ~pin:other ~edge) ~tau_dom ~tau_other ~sep);
+    trans2 =
+      (fun ~dom ~other ~edge ~tau_dom ~tau_other ~sep ->
+        Dual.out_transition (dual ~dom ~other ~edge)
+          ~single_dom:(single ~pin:dom ~edge)
+          ~single_other:(single ~pin:other ~edge) ~tau_dom ~tau_other ~sep);
+  }

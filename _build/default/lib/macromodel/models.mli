@@ -1,0 +1,70 @@
+(** A uniform model interface consumed by the {!Proxim_core} algorithm.
+
+    The `ProximityDelay` algorithm needs four oracles: single-input delay
+    and transition time, and dual-input delay and transition time with
+    respect to a dominant input.  This record abstracts over where they
+    come from — the golden simulator (the paper's validation methodology)
+    or the tabulated macromodels (the deployable artifact). *)
+
+type t = {
+  fan_in : int;
+  name : string;
+  assist : edge:Proxim_measure.Measure.edge -> pins:int list -> bool;
+      (** do the switching transistors of [pins] assist each other in the
+          driving network for this input edge (see
+          {!Proxim_gates.Gate.switching_assist})?  Decides the dominance
+          direction: assisting inputs -> earliest would-be response wins;
+          gating inputs -> latest.  NAND-falling / NOR-rising assist;
+          NAND-rising / NOR-falling gate. *)
+  delay1 : pin:int -> edge:Proxim_measure.Measure.edge -> tau:float -> float;
+      (** [Delta^(1)]: single-input delay, s *)
+  trans1 : pin:int -> edge:Proxim_measure.Measure.edge -> tau:float -> float;
+      (** [tau_out^(1)]: single-input output transition time, s *)
+  delay2 :
+    dom:int ->
+    other:int ->
+    edge:Proxim_measure.Measure.edge ->
+    tau_dom:float ->
+    tau_other:float ->
+    sep:float ->
+    float;
+      (** [Delta^(2)] with respect to the dominant input, s *)
+  trans2 :
+    dom:int ->
+    other:int ->
+    edge:Proxim_measure.Measure.edge ->
+    tau_dom:float ->
+    tau_other:float ->
+    sep:float ->
+    float;
+      (** [tau_out^(2)] with respect to the dominant input, s *)
+}
+
+val of_oracle :
+  ?opts:Proxim_spice.Options.t ->
+  ?load:float ->
+  Proxim_gates.Gate.t ->
+  Proxim_vtc.Vtc.thresholds ->
+  t
+(** Every query runs a transient analysis (memoized on the exact query).
+    This mirrors the paper's use of HSPICE as the dual-input macromodel. *)
+
+val of_tables :
+  ?opts:Proxim_spice.Options.t ->
+  ?taus:float array ->
+  ?x_tau:float array ->
+  ?x_sep:float array ->
+  ?share_others:bool ->
+  Proxim_gates.Gate.t ->
+  Proxim_vtc.Vtc.thresholds ->
+  t
+(** Queries are answered from {!Single} / {!Dual} tables, built lazily on
+    first use of each (pin, edge) / (dom, other, edge) combination and
+    memoized.  Building a dual table is expensive (hundreds of transient
+    runs); once built, queries are microseconds.
+
+    [share_others] (default false) implements the paper's Figure 4-2
+    observation that [n] dual-input macromodels suffice in practice: one
+    table per (dominant pin, edge), built against a representative other
+    pin and reused for every other input — [2n] tables total instead of
+    [n^2].  The ablation bench quantifies the accuracy cost. *)

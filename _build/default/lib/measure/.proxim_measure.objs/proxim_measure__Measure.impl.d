@@ -1,0 +1,1 @@
+lib/measure/measure.ml: Array Float List Option Proxim_gates Proxim_spice Proxim_vtc Proxim_waveform

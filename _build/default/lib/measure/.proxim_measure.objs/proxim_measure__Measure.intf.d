@@ -1,0 +1,1 @@
+lib/measure/measure.mli: Proxim_gates Proxim_spice Proxim_vtc Proxim_waveform

@@ -1,0 +1,1 @@
+lib/spice/dc.ml: Array List Mna Newton Options Proxim_circuit Proxim_waveform

@@ -1,0 +1,1 @@
+lib/spice/mna.ml: Array List Proxim_circuit Proxim_device Proxim_waveform

@@ -1,0 +1,1 @@
+lib/spice/mna.mli: Proxim_circuit Proxim_util Proxim_waveform

@@ -1,0 +1,1 @@
+lib/spice/newton.ml: Array Float Mna Options Proxim_util

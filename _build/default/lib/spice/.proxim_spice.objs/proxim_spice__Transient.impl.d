@@ -1,0 +1,1 @@
+lib/spice/transient.ml: Array Dc Float List Mna Newton Option Options Printf Proxim_circuit Proxim_waveform Sys

@@ -1,0 +1,1 @@
+lib/spice/transient.mli: Options Proxim_circuit Proxim_waveform

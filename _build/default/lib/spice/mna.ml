@@ -1,0 +1,141 @@
+module Netlist = Proxim_circuit.Netlist
+module Mosfet = Proxim_device.Mosfet
+
+type cap_info = { ca : int; cb : int; farads : float }
+
+type vsrc_info = {
+  vname : string;
+  pos : int;
+  neg : int;
+  wave : Proxim_waveform.Pwl.t;
+}
+
+type mos_info = { params : Mosfet.params; mg : int; md : int; ms : int }
+
+type res_info = { ra : int; rb : int; conductance : float }
+
+type t = {
+  n_nodes : int;  (** unknown node voltages *)
+  mosfets : mos_info array;
+  resistors : res_info array;
+  caps : cap_info array;
+  vsrcs : vsrc_info array;
+}
+
+let build net =
+  let mosfets = ref [] and resistors = ref [] in
+  let caps = ref [] and vsrcs = ref [] in
+  Array.iter
+    (fun d ->
+      match d with
+      | Netlist.Mosfet { params; g; d; s; _ } ->
+        mosfets := { params; mg = g; md = d; ms = s } :: !mosfets
+      | Netlist.Resistor { ohms; a; b; _ } ->
+        resistors := { ra = a; rb = b; conductance = 1. /. ohms } :: !resistors
+      | Netlist.Capacitor { farads; a; b; _ } ->
+        caps := { ca = a; cb = b; farads } :: !caps
+      | Netlist.Vsource { name; wave; pos; neg } ->
+        vsrcs := { vname = name; pos; neg; wave } :: !vsrcs)
+    net.Netlist.devices;
+  {
+    n_nodes = net.Netlist.node_count - 1;
+    mosfets = Array.of_list (List.rev !mosfets);
+    resistors = Array.of_list (List.rev !resistors);
+    caps = Array.of_list (List.rev !caps);
+    vsrcs = Array.of_list (List.rev !vsrcs);
+  }
+
+let node_unknowns t = t.n_nodes
+let source_count t = Array.length t.vsrcs
+let size t = t.n_nodes + source_count t
+let source_names t = Array.map (fun v -> v.vname) t.vsrcs
+let source_wave t i = t.vsrcs.(i).wave
+let cap_count t = Array.length t.caps
+
+let voltage _t ~x n = if n = 0 then 0. else x.(n - 1)
+
+let cap_voltage t ~x i =
+  let c = t.caps.(i) in
+  voltage t ~x c.ca -. voltage t ~x c.cb
+
+let assemble t ~x ~gmin ~source_values ~cap_companions ~jac ~res =
+  let n = size t in
+  for i = 0 to n - 1 do
+    res.(i) <- 0.;
+    Array.fill jac.(i) 0 n 0.
+  done;
+  let v node = voltage t ~x node in
+  (* add [g] between the KCL row of [node] and the column of [col] *)
+  let add_j node col g =
+    if node > 0 && col > 0 then
+      jac.(node - 1).(col - 1) <- jac.(node - 1).(col - 1) +. g
+  in
+  let add_r node i = if node > 0 then res.(node - 1) <- res.(node - 1) +. i in
+  (* gmin from every node to ground *)
+  for node = 1 to t.n_nodes do
+    add_r node (gmin *. x.(node - 1));
+    add_j node node gmin
+  done;
+  (* resistors *)
+  Array.iter
+    (fun { ra; rb; conductance = g } ->
+      let i = g *. (v ra -. v rb) in
+      add_r ra i;
+      add_r rb (-.i);
+      add_j ra ra g;
+      add_j ra rb (-.g);
+      add_j rb rb g;
+      add_j rb ra (-.g))
+    t.resistors;
+  (* capacitors through their companion models *)
+  (match cap_companions with
+   | None -> ()
+   | Some comps ->
+     Array.iteri
+       (fun k { ca; cb; _ } ->
+         let geq, ieq = comps.(k) in
+         let i = (geq *. (v ca -. v cb)) -. ieq in
+         add_r ca i;
+         add_r cb (-.i);
+         add_j ca ca geq;
+         add_j ca cb (-.geq);
+         add_j cb cb geq;
+         add_j cb ca (-.geq))
+       t.caps);
+  (* MOSFETs (with a gmin drain-source shunt: keeps internal stack nodes
+     weakly tied when the whole channel is cut off, which conditions the
+     Newton iteration) *)
+  Array.iter
+    (fun { params; mg; md; ms } ->
+      let ish = gmin *. (v md -. v ms) in
+      add_r md ish;
+      add_r ms (-.ish);
+      add_j md md gmin;
+      add_j md ms (-.gmin);
+      add_j ms ms gmin;
+      add_j ms md (-.gmin);
+      let e = Mosfet.eval params ~vg:(v mg) ~vd:(v md) ~vs:(v ms) in
+      (* [e.id] flows into the drain terminal: it leaves node [md] through
+         the channel and re-enters the circuit at node [ms] *)
+      add_r md e.Mosfet.id;
+      add_r ms (-.e.Mosfet.id);
+      add_j md mg e.Mosfet.did_dvg;
+      add_j md md e.Mosfet.did_dvd;
+      add_j md ms e.Mosfet.did_dvs;
+      add_j ms mg (-.e.Mosfet.did_dvg);
+      add_j ms md (-.e.Mosfet.did_dvd);
+      add_j ms ms (-.e.Mosfet.did_dvs))
+    t.mosfets;
+  (* voltage sources: KCL coupling plus the branch (EMF) equations *)
+  Array.iteri
+    (fun k { pos; neg; _ } ->
+      let row = t.n_nodes + k in
+      let ib = x.(row) in
+      add_r pos ib;
+      add_r neg (-.ib);
+      if pos > 0 then jac.(pos - 1).(row) <- jac.(pos - 1).(row) +. 1.;
+      if neg > 0 then jac.(neg - 1).(row) <- jac.(neg - 1).(row) -. 1.;
+      res.(row) <- v pos -. v neg -. source_values.(k);
+      if pos > 0 then jac.(row).(pos - 1) <- jac.(row).(pos - 1) +. 1.;
+      if neg > 0 then jac.(row).(neg - 1) <- jac.(row).(neg - 1) -. 1.)
+    t.vsrcs

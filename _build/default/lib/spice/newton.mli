@@ -1,0 +1,20 @@
+(** Damped Newton–Raphson iteration on an assembled MNA system.
+
+    Shared by the DC and transient engines. *)
+
+type outcome =
+  | Converged of int  (** iteration count *)
+  | Diverged of string
+
+val solve :
+  Mna.t ->
+  opts:Options.t ->
+  gmin:float ->
+  source_values:float array ->
+  cap_companions:(float * float) array option ->
+  x:float array ->
+  outcome
+(** Iterate from the seed in [x], updating it in place.  Each update is
+    damped so that no component moves more than [opts.newton_dv_limit].
+    Convergence requires both the update and the KCL residual to fall
+    under the respective tolerances. *)

@@ -1,0 +1,26 @@
+type integration = Backward_euler | Trapezoidal
+
+type t = {
+  gmin : float;
+  newton_tol_v : float;
+  newton_tol_i : float;
+  newton_max_iter : int;
+  newton_dv_limit : float;
+  h_min : float;
+  h_max : float;
+  dv_step_target : float;
+  integration : integration;
+}
+
+let default =
+  {
+    gmin = 1e-12;
+    newton_tol_v = 1e-8;
+    newton_tol_i = 1e-10;
+    newton_max_iter = 250;
+    newton_dv_limit = 1.0;
+    h_min = 1e-16;
+    h_max = 2e-11;
+    dv_step_target = 0.03;
+    integration = Trapezoidal;
+  }

@@ -1,0 +1,24 @@
+(** Solver options for the DC and transient engines. *)
+
+type integration = Backward_euler | Trapezoidal
+
+type t = {
+  gmin : float;
+      (** conductance tied from every node to ground to keep the Jacobian
+          nonsingular when transistor stacks are cut off (default 1e-12 S) *)
+  newton_tol_v : float;
+      (** Newton update infinity-norm convergence threshold, V *)
+  newton_tol_i : float;  (** KCL residual convergence threshold, A *)
+  newton_max_iter : int;
+  newton_dv_limit : float;
+      (** per-iteration voltage-update damping limit, V *)
+  h_min : float;  (** smallest transient step, s *)
+  h_max : float;  (** largest transient step, s *)
+  dv_step_target : float;
+      (** accept a transient step only if no node moved more than this, V;
+          controls waveform resolution *)
+  integration : integration;
+}
+
+val default : t
+(** Values tuned for 5 V CMOS gate cells with ps..ns waveforms. *)

@@ -1,0 +1,38 @@
+(** Transient analysis.
+
+    Time integration uses companion models for the capacitors (backward
+    Euler or trapezoidal per {!Options.t}), an adaptive step bounded by the
+    observed per-step voltage excursion, and forced breakpoints at every
+    knot of every PWL source so that input corners are never stepped over.
+    The initial condition is the DC operating point at [t = 0]. *)
+
+type result = {
+  times : float array;
+  node_voltages : float array array;
+      (** [node_voltages.(i)] is the full waveform of node [i] (indexed by
+          netlist node id; entry 0 is the all-zero ground trace), sampled
+          at [times] *)
+  accepted_steps : int;
+  rejected_steps : int;
+  newton_iterations : int;  (** total across all accepted steps *)
+}
+
+exception No_convergence of string
+
+val run :
+  ?opts:Options.t ->
+  ?overrides:(string * float) list ->
+  Proxim_circuit.Netlist.t ->
+  t_stop:float ->
+  result
+(** Simulate from the DC point at [t = 0] to [t_stop].  [overrides] pins
+    the EMF of the named sources to constants for the whole run (useful to
+    hold a gate input at a rail without rebuilding the netlist). *)
+
+val probe : result -> Proxim_circuit.Netlist.node -> Proxim_waveform.Pwl.t
+(** The waveform of one node as a PWL (breakpoints at the accepted time
+    steps). *)
+
+val probe_named :
+  Proxim_circuit.Netlist.t -> result -> string -> Proxim_waveform.Pwl.t
+(** Probe by node name; raises [Not_found] for unknown names. *)

@@ -1,0 +1,1 @@
+lib/sta/design.ml: Array Hashtbl List Option Proxim_gates

@@ -1,0 +1,1 @@
+lib/sta/flat.ml: Array Design Hashtbl List Proxim_circuit Proxim_gates Proxim_spice Proxim_waveform

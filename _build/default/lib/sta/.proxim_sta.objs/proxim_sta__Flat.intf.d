@@ -1,0 +1,1 @@
+lib/sta/flat.mli: Design Proxim_circuit Proxim_spice Proxim_waveform

@@ -1,0 +1,1 @@
+lib/sta/netlist_text.ml: Array Buffer Design Fun List Printf Proxim_gates String

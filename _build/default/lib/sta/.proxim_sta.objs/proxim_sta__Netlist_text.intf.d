@@ -1,0 +1,1 @@
+lib/sta/netlist_text.mli: Design Proxim_gates

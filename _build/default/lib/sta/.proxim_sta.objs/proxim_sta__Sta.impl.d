@@ -1,0 +1,1 @@
+lib/sta/sta.ml: Array Design Fun Hashtbl List Option Printf Proxim_core Proxim_gates Proxim_macromodel Proxim_measure Proxim_vtc

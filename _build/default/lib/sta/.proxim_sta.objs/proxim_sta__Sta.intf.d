@@ -1,0 +1,1 @@
+lib/sta/sta.mli: Design Proxim_macromodel Proxim_measure Proxim_spice Proxim_vtc

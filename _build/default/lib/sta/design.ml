@@ -1,0 +1,108 @@
+module Gate = Proxim_gates.Gate
+
+type cell = {
+  name : string;
+  gate : Gate.t;
+  input_nets : string array;
+  output_net : string;
+}
+
+type t = {
+  cell_list : cell list;
+  pis : string list;
+  pos : string list;
+  driver_tbl : (string, cell) Hashtbl.t;
+  reader_tbl : (string, (cell * int) list) Hashtbl.t;
+  topo : cell list;
+}
+
+let create ~cells:cell_list ~primary_inputs:pis ~primary_outputs:pos =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.name then
+        invalid_arg ("Design.create: duplicate cell " ^ c.name);
+      Hashtbl.add seen c.name ();
+      if Array.length c.input_nets <> c.gate.Gate.fan_in then
+        invalid_arg ("Design.create: arity mismatch on " ^ c.name))
+    cell_list;
+  let driver_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem driver_tbl c.output_net then
+        invalid_arg ("Design.create: net driven twice: " ^ c.output_net);
+      if List.mem c.output_net pis then
+        invalid_arg ("Design.create: primary input driven: " ^ c.output_net);
+      Hashtbl.add driver_tbl c.output_net c)
+    cell_list;
+  let reader_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      Array.iteri
+        (fun pin net ->
+          let cur =
+            Option.value ~default:[] (Hashtbl.find_opt reader_tbl net)
+          in
+          Hashtbl.replace reader_tbl net ((c, pin) :: cur))
+        c.input_nets)
+    cell_list;
+  (* every read net must be driven or be a primary input *)
+  Hashtbl.iter
+    (fun net _ ->
+      if (not (Hashtbl.mem driver_tbl net)) && not (List.mem net pis) then
+        invalid_arg ("Design.create: undriven net " ^ net))
+    reader_tbl;
+  List.iter
+    (fun net ->
+      if (not (Hashtbl.mem driver_tbl net)) && not (List.mem net pis) then
+        invalid_arg ("Design.create: undriven primary output " ^ net))
+    pos;
+  (* topological order by DFS from outputs; cycle detection *)
+  let topo = ref [] in
+  let state = Hashtbl.create 16 in
+  let rec visit c =
+    match Hashtbl.find_opt state c.name with
+    | Some `Done -> ()
+    | Some `Active ->
+      invalid_arg ("Design.create: combinational cycle through " ^ c.name)
+    | None ->
+      Hashtbl.add state c.name `Active;
+      Array.iter
+        (fun net ->
+          match Hashtbl.find_opt driver_tbl net with
+          | Some d -> visit d
+          | None -> ())
+        c.input_nets;
+      Hashtbl.replace state c.name `Done;
+      topo := c :: !topo
+  in
+  List.iter visit cell_list;
+  {
+    cell_list;
+    pis;
+    pos;
+    driver_tbl;
+    reader_tbl;
+    topo = List.rev !topo;
+  }
+
+let cells t = t.cell_list
+let primary_inputs t = t.pis
+let primary_outputs t = t.pos
+let topological t = t.topo
+
+let readers t ~net = Option.value ~default:[] (Hashtbl.find_opt t.reader_tbl net)
+
+let driver t ~net = Hashtbl.find_opt t.driver_tbl net
+
+let default_wire_cap = 20e-15
+let pad_cap = 50e-15
+
+let fanout_load ?(wire_cap = default_wire_cap) t ~net =
+  let pin_caps =
+    List.fold_left
+      (fun acc (c, _pin) -> acc +. Gate.input_capacitance c.gate)
+      0. (readers t ~net)
+  in
+  let pad = if List.mem net t.pos then pad_cap else 0. in
+  pin_caps +. wire_cap +. pad

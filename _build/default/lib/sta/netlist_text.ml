@@ -1,0 +1,123 @@
+module Gate = Proxim_gates.Gate
+
+type accum = {
+  mutable design_name : string option;
+  mutable inputs : string list;
+  mutable outputs : string list;
+  mutable cells : Design.cell list;  (** reversed *)
+  mutable ended : bool;
+}
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse tech text =
+  let acc =
+    { design_name = None; inputs = []; outputs = []; cells = []; ended = false }
+  in
+  let err lineno fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+  in
+  let parse_line lineno line =
+    match tokens (strip_comment line) with
+    | [] -> Ok ()
+    | _ when acc.ended -> err lineno "content after 'end'"
+    | [ "design"; name ] ->
+      if acc.design_name <> None then err lineno "duplicate 'design'"
+      else begin
+        acc.design_name <- Some name;
+        Ok ()
+      end
+    | "input" :: nets when nets <> [] ->
+      acc.inputs <- acc.inputs @ nets;
+      Ok ()
+    | "output" :: nets when nets <> [] ->
+      acc.outputs <- acc.outputs @ nets;
+      Ok ()
+    | "cell" :: name :: gate_name :: rest -> (
+      match Gate.of_name tech gate_name with
+      | Error m -> err lineno "%s" m
+      | Ok gate -> (
+        let rec split_arrow before = function
+          | "->" :: [ out ] -> Some (List.rev before, out)
+          | "->" :: _ -> None
+          | t :: tl -> split_arrow (t :: before) tl
+          | [] -> None
+        in
+        match split_arrow [] rest with
+        | None -> err lineno "expected 'cell NAME GATE in... -> out'"
+        | Some (ins, out) ->
+          if List.length ins <> gate.Gate.fan_in then
+            err lineno "gate %s wants %d inputs, got %d" gate_name
+              gate.Gate.fan_in (List.length ins)
+          else begin
+            acc.cells <-
+              {
+                Design.name;
+                gate;
+                input_nets = Array.of_list ins;
+                output_net = out;
+              }
+              :: acc.cells;
+            Ok ()
+          end))
+    | [ "end" ] ->
+      acc.ended <- true;
+      Ok ()
+    | tok :: _ -> err lineno "unrecognized directive %S" tok
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: tl -> (
+      match parse_line lineno line with
+      | Ok () -> go (lineno + 1) tl
+      | Error _ as e -> e)
+  in
+  match go 1 lines with
+  | Error _ as e -> e
+  | Ok () -> (
+    match acc.design_name with
+    | None -> Error "missing 'design' directive"
+    | Some name -> (
+      try
+        Ok
+          ( name,
+            Design.create ~cells:(List.rev acc.cells)
+              ~primary_inputs:acc.inputs ~primary_outputs:acc.outputs )
+      with Invalid_argument m -> Error m))
+
+let parse_file tech path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse tech (really_input_string ic n))
+
+let to_string ~name design =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "design %s\n" name);
+  (match Design.primary_inputs design with
+   | [] -> ()
+   | pis -> Buffer.add_string buf ("input " ^ String.concat " " pis ^ "\n"));
+  (match Design.primary_outputs design with
+   | [] -> ()
+   | pos -> Buffer.add_string buf ("output " ^ String.concat " " pos ^ "\n"));
+  List.iter
+    (fun (c : Design.cell) ->
+      Buffer.add_string buf
+        (Printf.sprintf "cell %s %s %s -> %s\n" c.Design.name
+           c.Design.gate.Gate.name
+           (String.concat " " (Array.to_list c.Design.input_nets))
+           c.Design.output_net))
+    (Design.cells design);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** A small structural netlist text format for gate-level designs.
+
+    {v
+    # carry tree
+    design carry_tree
+    input a b c
+    output carry
+    cell u1 nand2 a b -> n1
+    cell u2 nand2 a c -> n2
+    cell u3 nand2 b c -> n3
+    cell u5 nand3 n1 n2 n3 -> carry
+    end
+    v}
+
+    One directive per line; [#] starts a comment; gate names follow
+    {!Proxim_gates.Gate.of_name}.  [parse] validates through
+    {!Design.create}, so structural errors (cycles, double drivers,
+    arity) are reported with the same messages. *)
+
+val parse :
+  Proxim_gates.Tech.t -> string -> (string * Design.t, string) result
+(** [parse tech text] returns [(design_name, design)] or a message with
+    the offending line number. *)
+
+val parse_file :
+  Proxim_gates.Tech.t -> string -> (string * Design.t, string) result
+
+val to_string : name:string -> Design.t -> string
+(** Render a design back to the format; [parse] of the result round-trips
+    (up to comments and whitespace). *)

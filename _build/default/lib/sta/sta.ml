@@ -1,0 +1,155 @@
+module Gate = Proxim_gates.Gate
+module Measure = Proxim_measure.Measure
+module Models = Proxim_macromodel.Models
+module Proximity = Proxim_core.Proximity
+
+type arrival = { time : float; slew : float; edge : Measure.edge }
+
+type mode = Classic | Proximity
+
+type report = {
+  arrivals : (string * arrival) list;
+  critical_po : (string * arrival) option;
+  predecessors : (string * string) list;
+}
+
+(* latest single-input response wins; its transition time becomes the
+   output slew, and the winning pin becomes the path predecessor *)
+let propagate_classic (models : Models.t) ~edge events =
+  let responses =
+    List.map
+      (fun (e : Proximity.event) ->
+        let d =
+          models.Models.delay1 ~pin:e.Proximity.pin ~edge ~tau:e.Proximity.tau
+        in
+        let t =
+          models.Models.trans1 ~pin:e.Proximity.pin ~edge ~tau:e.Proximity.tau
+        in
+        (e.Proximity.cross_time +. d, t, e.Proximity.pin))
+      events
+  in
+  match responses with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left
+      (fun ((bt, _, _) as best) ((t, _, _) as r) -> if t > bt then r else best)
+      first rest
+
+let propagate_proximity (models : Models.t) events =
+  let r = Proximity.evaluate models events in
+  ( r.Proximity.ref_cross +. r.Proximity.delay,
+    r.Proximity.out_transition,
+    r.Proximity.ref_pin )
+
+let analyze ?(mode = Proximity) ~models ~thresholds design ~pi =
+  (* macromodels consume full-swing ramp widths; measured output
+     transitions span Vil..Vih only, so scale them up when they become the
+     next stage's input slew *)
+  let slew_scale =
+    let th : Proxim_vtc.Vtc.thresholds = thresholds in
+    th.Proxim_vtc.Vtc.vdd /. (th.Proxim_vtc.Vtc.vih -. th.Proxim_vtc.Vtc.vil)
+  in
+  let net_arrival : (string, arrival) Hashtbl.t = Hashtbl.create 32 in
+  List.iter (fun (net, a) -> Hashtbl.replace net_arrival net a) pi;
+  let order = ref [] in
+  let preds = ref [] in
+  let process cell =
+    let events =
+      Array.to_list cell.Design.input_nets
+      |> List.mapi (fun pin net ->
+           Option.map
+             (fun a ->
+               ( {
+                   Proximity.pin;
+                   edge = a.edge;
+                   tau = a.slew;
+                   cross_time = a.time;
+                 },
+                 net ))
+             (Hashtbl.find_opt net_arrival net))
+      |> List.filter_map Fun.id
+    in
+    match events with
+    | [] -> ()  (* fully quiet cell *)
+    | ((first : Proximity.event), _) :: rest ->
+      if
+        List.exists
+          (fun ((e : Proximity.event), _) ->
+            e.Proximity.edge <> first.Proximity.edge)
+          rest
+      then
+        failwith
+          (Printf.sprintf "Sta.analyze: mixed input edges at cell %s"
+             cell.Design.name);
+      let edge = first.Proximity.edge in
+      let m = models cell in
+      let plain_events = List.map fst events in
+      let time, slew, pin =
+        match mode with
+        | Classic -> propagate_classic m ~edge plain_events
+        | Proximity -> propagate_proximity m plain_events
+      in
+      let out =
+        { time; slew = slew *. slew_scale; edge = Measure.opposite edge }
+      in
+      Hashtbl.replace net_arrival cell.Design.output_net out;
+      order := (cell.Design.output_net, out) :: !order;
+      let pred_net =
+        match
+          List.find_opt
+            (fun ((e : Proximity.event), _) -> e.Proximity.pin = pin)
+            events
+        with
+        | Some (_, net) -> net
+        | None -> assert false
+      in
+      preds := (cell.Design.output_net, pred_net) :: !preds
+  in
+  List.iter process (Design.topological design);
+  let arrivals = pi @ List.rev !order in
+  let critical_po =
+    List.fold_left
+      (fun best net ->
+        match Hashtbl.find_opt net_arrival net with
+        | None -> best
+        | Some a -> (
+          match best with
+          | Some (_, b) when b.time >= a.time -> best
+          | Some _ | None -> Some (net, a)))
+      None
+      (Design.primary_outputs design)
+  in
+  { arrivals; critical_po; predecessors = List.rev !preds }
+
+let critical_path report ~po =
+  if not (List.mem_assoc po report.arrivals) then []
+  else begin
+    let rec walk net acc =
+      match List.assoc_opt net report.predecessors with
+      | None -> net :: acc  (* reached a primary input *)
+      | Some pred -> walk pred (net :: acc)
+    in
+    List.rev (walk po [])
+  end
+
+let po_slacks design report ~required =
+  Design.primary_outputs design
+  |> List.filter_map (fun net ->
+       Option.map
+         (fun (a : arrival) -> (net, required -. a.time))
+         (List.assoc_opt net report.arrivals))
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let oracle_model_factory ?opts ?wire_cap design th =
+  let cache = Hashtbl.create 16 in
+  fun (cell : Design.cell) ->
+    let load = Design.fanout_load ?wire_cap design ~net:cell.Design.output_net in
+    (* bucket the load at 1 fF so structurally identical cells share models *)
+    let bucket = int_of_float ((load *. 1e15) +. 0.5) in
+    let key = (cell.Design.gate.Gate.name, bucket) in
+    match Hashtbl.find_opt cache key with
+    | Some m -> m
+    | None ->
+      let m = Models.of_oracle ?opts ~load cell.Design.gate th in
+      Hashtbl.add cache key m;
+      m

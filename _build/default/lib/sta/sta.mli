@@ -1,0 +1,77 @@
+(** Single-vector static timing analysis, classic and proximity-aware.
+
+    Every switching net carries one transition event — an arrival time (at
+    the measurement threshold), a slew (full-swing equivalent transition
+    time) and an edge direction.  Gates are assumed inverting (true for
+    every {!Proxim_gates.Gate.t}), so the output edge is the opposite of
+    the input edges.
+
+    Two propagation modes:
+
+    - {b Classic}: each switching input is considered alone
+      ([Delta^(1)]); the output arrival is the latest single-input
+      response, its slew that input's [tau_out^(1)].  This is what a
+      traditional pin-to-pin STA computes and what the paper's
+      introduction argues is inaccurate under temporal proximity.
+    - {b Proximity}: the switching inputs are fed as events to the
+      {!Proxim_core.Proximity} algorithm; the output arrival is the
+      dominant input's crossing plus the proximity delay, the slew the
+      composed output transition time. *)
+
+type arrival = {
+  time : float;  (** threshold-crossing time, s *)
+  slew : float;
+      (** full-swing equivalent transition time, s (the [tau] the
+          macromodels consume).  Internally the analyzer converts each
+          gate's measured output transition (a Vil..Vih time) to this
+          scale using the threshold set. *)
+  edge : Proxim_measure.Measure.edge;
+}
+
+type mode = Classic | Proximity
+
+type report = {
+  arrivals : (string * arrival) list;  (** every switching net, topo order *)
+  critical_po : (string * arrival) option;
+      (** the latest-arriving primary output *)
+  predecessors : (string * string) list;
+      (** for every cell output net, the input net that set its timing:
+          the latest single-input response in [Classic] mode, the dominant
+          input in [Proximity] mode — the edges of the critical-path
+          graph *)
+}
+
+val critical_path : report -> po:string -> string list
+(** The chain of nets from a primary input to [po], following
+    {!report.predecessors} backwards; [po] first.  Returns [[]] when [po]
+    never switched. *)
+
+val po_slacks :
+  Design.t -> report -> required:float -> (string * float) list
+(** Slack (required - arrival) of every switching primary-output net of
+    the design, worst first. *)
+
+val analyze :
+  ?mode:mode ->
+  models:(Design.cell -> Proxim_macromodel.Models.t) ->
+  thresholds:Proxim_vtc.Vtc.thresholds ->
+  Design.t ->
+  pi:(string * arrival) list ->
+  report
+(** Propagate the primary-input events through the design.  Inputs of a
+    cell whose nets carry no event are treated as stable at sensitizing
+    levels.  Raises [Failure] if the switching inputs of one cell arrive
+    with inconsistent edges (a single-vector analysis cannot order a
+    glitch) or if a switching cell input would need a non-inverting
+    path. *)
+
+val oracle_model_factory :
+  ?opts:Proxim_spice.Options.t ->
+  ?wire_cap:float ->
+  Design.t ->
+  Proxim_vtc.Vtc.thresholds ->
+  Design.cell ->
+  Proxim_macromodel.Models.t
+(** A [models] function backed by the golden simulator: each cell gets
+    oracle models built at its actual fanout load (memoized per gate
+    type and load bucket). *)

@@ -1,0 +1,31 @@
+let default_rtol = 1e-9
+let default_atol = 1e-15
+
+let approx_eq ?(rtol = default_rtol) ?(atol = default_atol) a b =
+  Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x
+
+let lerp a b t = a +. (t *. (b -. a))
+
+let inv_lerp a b x =
+  assert (a <> b);
+  (x -. a) /. (b -. a)
+
+let linspace a b n =
+  assert (n >= 1);
+  if n = 1 then [| a |]
+  else
+    let step = (b -. a) /. float_of_int (n - 1) in
+    Array.init n (fun i -> a +. (float_of_int i *. step))
+
+let logspace a b n =
+  assert (a > 0. && b > 0.);
+  let la = log a and lb = log b in
+  Array.map exp (linspace la lb n)
+
+let is_finite x = Float.is_finite x
+
+let sign x = if x > 0. then 1. else if x < 0. then -1. else 0.

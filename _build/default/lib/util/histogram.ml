@@ -1,0 +1,48 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  underflow : int;
+  overflow : int;
+}
+
+let create ~lo ~hi ~bins xs =
+  assert (lo < hi);
+  assert (bins >= 1);
+  let counts = Array.make bins 0 in
+  let underflow = ref 0 and overflow = ref 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  let place x =
+    if x < lo then incr underflow
+    else if x >= hi then
+      if x = hi then counts.(bins - 1) <- counts.(bins - 1) + 1
+      else incr overflow
+    else begin
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = Stdlib.min i (bins - 1) in
+      counts.(i) <- counts.(i) + 1
+    end
+  in
+  Array.iter place xs;
+  { lo; hi; counts; underflow = !underflow; overflow = !overflow }
+
+let bin_edges t =
+  let bins = Array.length t.counts in
+  let width = (t.hi -. t.lo) /. float_of_int bins in
+  Array.init (bins + 1) (fun i -> t.lo +. (float_of_int i *. width))
+
+let total t = t.underflow + t.overflow + Array.fold_left ( + ) 0 t.counts
+
+let pp ppf t =
+  let edges = bin_edges t in
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  if t.underflow > 0 then
+    Format.fprintf ppf "      < %8.3g : %4d@." t.lo t.underflow;
+  Array.iteri
+    (fun i c ->
+      let bar = String.make (c * 50 / peak) '#' in
+      Format.fprintf ppf "[%8.3g, %8.3g): %4d %s@." edges.(i) edges.(i + 1) c
+        bar)
+    t.counts;
+  if t.overflow > 0 then
+    Format.fprintf ppf "      >=%8.3g : %4d@." t.hi t.overflow

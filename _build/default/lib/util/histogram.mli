@@ -1,0 +1,26 @@
+(** Fixed-bin histograms with a textual bar-chart renderer.
+
+    Used to regenerate the error-distribution bar charts of Fig 5-1. *)
+
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  underflow : int;
+  overflow : int;
+}
+
+val create : lo:float -> hi:float -> bins:int -> float array -> t
+(** [create ~lo ~hi ~bins xs] bins the samples into [bins] equal-width bins
+    over [\[lo, hi)]; samples outside the range land in
+    [underflow]/[overflow].  Requires [lo < hi] and [bins >= 1]. *)
+
+val bin_edges : t -> float array
+(** The [bins + 1] bin boundaries. *)
+
+val total : t -> int
+(** All samples including under/overflow. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render one line per bin: range, count and a [#]-bar scaled so the
+    fullest bin spans 50 characters. *)

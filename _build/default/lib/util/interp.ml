@@ -1,0 +1,141 @@
+type extrapolation = Clamp | Linear
+
+let check_axis xs =
+  let n = Array.length xs in
+  assert (n >= 2);
+  for i = 0 to n - 2 do
+    assert (xs.(i) < xs.(i + 1))
+  done
+
+let bracket xs x =
+  let n = Array.length xs in
+  if x <= xs.(0) then 0
+  else if x >= xs.(n - 1) then n - 2
+  else begin
+    (* binary search: find i with xs.(i) <= x < xs.(i+1) *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let linear ?(extrapolation = Clamp) xs ys x =
+  check_axis xs;
+  assert (Array.length xs = Array.length ys);
+  let n = Array.length xs in
+  let x =
+    match extrapolation with
+    | Clamp -> Floatx.clamp ~lo:xs.(0) ~hi:xs.(n - 1) x
+    | Linear -> x
+  in
+  let i = bracket xs x in
+  let t = (x -. xs.(i)) /. (xs.(i + 1) -. xs.(i)) in
+  Floatx.lerp ys.(i) ys.(i + 1) t
+
+type pchip = {
+  pxs : float array;
+  pys : float array;
+  slopes : float array;  (** derivative at each knot *)
+}
+
+(* Fritsch–Carlson monotone slopes. *)
+let pchip_make xs ys =
+  check_axis xs;
+  assert (Array.length xs = Array.length ys);
+  let n = Array.length xs in
+  let h = Array.init (n - 1) (fun i -> xs.(i + 1) -. xs.(i)) in
+  let delta = Array.init (n - 1) (fun i -> (ys.(i + 1) -. ys.(i)) /. h.(i)) in
+  let d = Array.make n 0. in
+  if n = 2 then begin
+    d.(0) <- delta.(0);
+    d.(1) <- delta.(0)
+  end
+  else begin
+    d.(0) <- delta.(0);
+    d.(n - 1) <- delta.(n - 2);
+    for i = 1 to n - 2 do
+      if delta.(i - 1) *. delta.(i) <= 0. then d.(i) <- 0.
+      else begin
+        (* weighted harmonic mean keeps monotonicity *)
+        let w1 = (2. *. h.(i)) +. h.(i - 1) in
+        let w2 = h.(i) +. (2. *. h.(i - 1)) in
+        d.(i) <- (w1 +. w2) /. ((w1 /. delta.(i - 1)) +. (w2 /. delta.(i)))
+      end
+    done
+  end;
+  { pxs = xs; pys = ys; slopes = d }
+
+let pchip_eval ?(extrapolation = Clamp) p x =
+  let xs = p.pxs and ys = p.pys and d = p.slopes in
+  let n = Array.length xs in
+  let x =
+    match extrapolation with
+    | Clamp -> Floatx.clamp ~lo:xs.(0) ~hi:xs.(n - 1) x
+    | Linear -> x
+  in
+  if x <= xs.(0) then ys.(0) +. (d.(0) *. (x -. xs.(0)))
+  else if x >= xs.(n - 1) then ys.(n - 1) +. (d.(n - 1) *. (x -. xs.(n - 1)))
+  else begin
+    let i = bracket xs x in
+    let h = xs.(i + 1) -. xs.(i) in
+    let t = (x -. xs.(i)) /. h in
+    (* cubic Hermite basis *)
+    let t2 = t *. t in
+    let t3 = t2 *. t in
+    let h00 = (2. *. t3) -. (3. *. t2) +. 1. in
+    let h10 = t3 -. (2. *. t2) +. t in
+    let h01 = (-2. *. t3) +. (3. *. t2) in
+    let h11 = t3 -. t2 in
+    (h00 *. ys.(i))
+    +. (h10 *. h *. d.(i))
+    +. (h01 *. ys.(i + 1))
+    +. (h11 *. h *. d.(i + 1))
+  end
+
+let pchip_knots p = (Array.copy p.pxs, Array.copy p.pys)
+
+type grid3 = {
+  xs : float array;
+  ys : float array;
+  zs : float array;
+  values : float array array array;
+}
+
+let grid3_make ~xs ~ys ~zs ~f =
+  check_axis xs;
+  check_axis ys;
+  check_axis zs;
+  let values =
+    Array.map (fun x -> Array.map (fun y -> Array.map (f x y) zs) ys) xs
+  in
+  { xs; ys; zs; values }
+
+let trilinear g x y z =
+  let clamp axis v =
+    Floatx.clamp ~lo:axis.(0) ~hi:axis.(Array.length axis - 1) v
+  in
+  let x = clamp g.xs x and y = clamp g.ys y and z = clamp g.zs z in
+  let ix = bracket g.xs x and iy = bracket g.ys y and iz = bracket g.zs z in
+  let tx = (x -. g.xs.(ix)) /. (g.xs.(ix + 1) -. g.xs.(ix)) in
+  let ty = (y -. g.ys.(iy)) /. (g.ys.(iy + 1) -. g.ys.(iy)) in
+  let tz = (z -. g.zs.(iz)) /. (g.zs.(iz + 1) -. g.zs.(iz)) in
+  let v i j k = g.values.(ix + i).(iy + j).(iz + k) in
+  let along_z i j = Floatx.lerp (v i j 0) (v i j 1) tz in
+  let along_yz i = Floatx.lerp (along_z i 0) (along_z i 1) ty in
+  Floatx.lerp (along_yz 0) (along_yz 1) tx
+
+let bilinear_pchip_z g x y z =
+  let clamp axis v =
+    Floatx.clamp ~lo:axis.(0) ~hi:axis.(Array.length axis - 1) v
+  in
+  let x = clamp g.xs x and y = clamp g.ys y and z = clamp g.zs z in
+  let ix = bracket g.xs x and iy = bracket g.ys y in
+  let tx = (x -. g.xs.(ix)) /. (g.xs.(ix + 1) -. g.xs.(ix)) in
+  let ty = (y -. g.ys.(iy)) /. (g.ys.(iy + 1) -. g.ys.(iy)) in
+  let along_z i j =
+    pchip_eval (pchip_make g.zs g.values.(ix + i).(iy + j)) z
+  in
+  let along_yz i = Floatx.lerp (along_z i 0) (along_z i 1) ty in
+  Floatx.lerp (along_yz 0) (along_yz 1) tx

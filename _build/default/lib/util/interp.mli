@@ -1,0 +1,67 @@
+(** Interpolation on tabulated data.
+
+    The macromodel layer stores delay/transition ratios as 1-D and 3-D
+    tables over strictly increasing axes; this module provides the lookup
+    machinery: piecewise-linear and monotone-cubic (PCHIP) interpolation in
+    one dimension, and trilinear interpolation on a rectilinear 3-D grid.
+
+    All interpolators clamp queries to the axis range by default — this is
+    the behaviour the macromodels want, since outside the tabulated range
+    the physics saturates to the single-input asymptote. *)
+
+type extrapolation =
+  | Clamp  (** evaluate at the nearest axis endpoint *)
+  | Linear  (** extend the boundary segment's slope *)
+
+val bracket : float array -> float -> int
+(** [bracket xs x] is the index [i] such that [xs.(i) <= x <= xs.(i+1)],
+    clamped to [\[0, length xs - 2\]].  Requires [xs] strictly increasing
+    with at least two entries.  Binary search. *)
+
+val linear :
+  ?extrapolation:extrapolation -> float array -> float array -> float -> float
+(** [linear xs ys x] is piecewise-linear interpolation of the samples
+    [(xs.(i), ys.(i))] at [x].  Requires [xs] strictly increasing and
+    [length xs = length ys >= 2]. *)
+
+type pchip
+(** A monotone piecewise-cubic interpolant (Fritsch–Carlson): it never
+    overshoots the data, which keeps delay tables monotone where the
+    underlying physics is. *)
+
+val pchip_make : float array -> float array -> pchip
+(** Build the interpolant.  Requires strictly increasing [xs] and matching
+    lengths (at least 2 points; 2 points degrade to linear). *)
+
+val pchip_eval : ?extrapolation:extrapolation -> pchip -> float -> float
+(** Evaluate; extrapolation policy as in {!linear} (default [Clamp]). *)
+
+val pchip_knots : pchip -> float array * float array
+(** The interpolant's knots [(xs, ys)] — used by the serialization layer
+    to round-trip tables exactly. *)
+
+type grid3 = {
+  xs : float array;
+  ys : float array;
+  zs : float array;
+  values : float array array array;  (** indexed [values.(ix).(iy).(iz)] *)
+}
+(** A rectilinear 3-D table. *)
+
+val grid3_make :
+  xs:float array ->
+  ys:float array ->
+  zs:float array ->
+  f:(float -> float -> float -> float) ->
+  grid3
+(** Tabulate [f] on the grid. *)
+
+val trilinear : grid3 -> float -> float -> float -> float
+(** [trilinear g x y z] is trilinear interpolation with clamping to the
+    grid's bounding box. *)
+
+val bilinear_pchip_z : grid3 -> float -> float -> float -> float
+(** Like {!trilinear} but with monotone-cubic (PCHIP) interpolation along
+    the [z] axis and linear interpolation across [x] and [y] — the right
+    tool when the tabulated surface is smooth in two axes but strongly
+    curved in the third (the proximity macromodels' separation axis). *)

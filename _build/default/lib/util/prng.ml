@@ -1,0 +1,37 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(* SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush, two multiplies
+   and three xor-shifts per draw. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float t =
+  (* 53 random mantissa bits -> [0, 1) *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let float t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. (unit_float t *. (hi -. lo))
+
+let int t ~lo ~hi =
+  assert (lo <= hi);
+  let span = Int64.of_int (hi - lo + 1) in
+  let r = Int64.rem (Int64.logand (next_int64 t) Int64.max_int) span in
+  lo + Int64.to_int r
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t ~lo:0 ~hi:i in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

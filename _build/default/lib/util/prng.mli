@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The validation experiments draw random input configurations; to keep
+    `dune runtest` and the benches reproducible we carry our own small,
+    well-understood generator instead of the ambient [Random] state. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator.  Equal seeds yield equal streams. *)
+
+val next_int64 : t -> int64
+(** The raw 64-bit SplitMix64 output. *)
+
+val float : t -> lo:float -> hi:float -> float
+(** Uniform draw in [\[lo, hi)].  Requires [lo <= hi]. *)
+
+val int : t -> lo:int -> hi:int -> int
+(** Uniform draw in [\[lo, hi\]] inclusive.  Requires [lo <= hi]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

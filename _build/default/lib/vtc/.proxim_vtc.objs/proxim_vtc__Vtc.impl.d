@@ -1,0 +1,1 @@
+lib/vtc/vtc.ml: Array Float Format List Proxim_gates Proxim_spice Proxim_util Proxim_waveform String

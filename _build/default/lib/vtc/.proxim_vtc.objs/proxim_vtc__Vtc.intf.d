@@ -1,0 +1,1 @@
+lib/vtc/vtc.mli: Format Proxim_gates Proxim_spice

@@ -1,0 +1,143 @@
+type t = { pts : (float * float) array }
+
+type direction = Rising | Falling | Either
+
+let of_points lst =
+  if lst = [] then invalid_arg "Pwl.of_points: empty";
+  let pts = Array.of_list lst in
+  for i = 0 to Array.length pts - 2 do
+    if fst pts.(i) >= fst pts.(i + 1) then
+      invalid_arg "Pwl.of_points: times must be strictly increasing"
+  done;
+  { pts }
+
+let of_samples ~times ~values =
+  if Array.length times <> Array.length values then
+    invalid_arg "Pwl.of_samples: length mismatch";
+  of_points (Array.to_list (Array.map2 (fun t v -> (t, v)) times values))
+
+let points w = Array.copy w.pts
+
+let constant v = { pts = [| (0., v) |] }
+
+let ramp ~t0 ~width ~v_from ~v_to =
+  if width <= 0. then
+    (* a step: represent with an extremely steep 1 fs ramp to stay PWL *)
+    of_points [ (t0, v_from); (t0 +. 1e-15, v_to) ]
+  else of_points [ (t0, v_from); (t0 +. width, v_to) ]
+
+let value w t =
+  let pts = w.pts in
+  let n = Array.length pts in
+  if t <= fst pts.(0) then snd pts.(0)
+  else if t >= fst pts.(n - 1) then snd pts.(n - 1)
+  else begin
+    (* binary search for the segment containing t *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if fst pts.(mid) <= t then lo := mid else hi := mid
+    done;
+    let t0, v0 = pts.(!lo) and t1, v1 = pts.(!hi) in
+    Proxim_util.Floatx.lerp v0 v1 ((t -. t0) /. (t1 -. t0))
+  end
+
+let shift w dt = { pts = Array.map (fun (t, v) -> (t +. dt, v)) w.pts }
+
+let start_time w = fst w.pts.(0)
+let end_time w = fst w.pts.(Array.length w.pts - 1)
+
+(* Crossing detection walks the breakpoints tracking the side of each value
+   relative to the level; runs of points exactly on the level count as a
+   single crossing (at the start of the run) when the surrounding sides
+   differ. *)
+let crossings ?(direction = Either) w level =
+  let pts = w.pts in
+  let n = Array.length pts in
+  let events = ref [] in
+  let side v = if v > level then 1 else if v < level then -1 else 0 in
+  let prev_side = ref 0 in
+  let prev_idx = ref (-1) in
+  let zero_start = ref None in
+  for i = 0 to n - 1 do
+    let t, v = pts.(i) in
+    let s = side v in
+    if s = 0 then begin
+      if !zero_start = None then zero_start := Some t
+    end
+    else begin
+      (if !prev_side <> 0 && !prev_side <> s then
+         let cross_time =
+           match !zero_start with
+           | Some tz -> tz
+           | None ->
+             let t0, v0 = pts.(!prev_idx) in
+             let frac = (level -. v0) /. (v -. v0) in
+             t0 +. (frac *. (t -. t0))
+         in
+         events := (cross_time, s - !prev_side) :: !events);
+      prev_side := s;
+      prev_idx := i;
+      zero_start := None
+    end
+  done;
+  let keep (_, delta) =
+    match direction with
+    | Either -> true
+    | Rising -> delta > 0
+    | Falling -> delta < 0
+  in
+  List.rev_map fst (List.filter keep !events)
+
+let first_crossing ?(direction = Either) ?after w level =
+  let all = crossings ~direction w level in
+  let all =
+    match after with
+    | None -> all
+    | Some t0 -> List.filter (fun t -> t >= t0) all
+  in
+  match all with [] -> None | t :: _ -> Some t
+
+let last_crossing ?(direction = Either) w level =
+  match List.rev (crossings ~direction w level) with
+  | [] -> None
+  | t :: _ -> Some t
+
+let transition_time w ~v_start ~v_end =
+  let dir = if v_end > v_start then Rising else Falling in
+  match first_crossing ~direction:dir w v_end with
+  | None -> None
+  | Some t_end -> (
+    let starts =
+      List.filter (fun t -> t <= t_end) (crossings ~direction:dir w v_start)
+    in
+    match List.rev starts with
+    | [] -> None
+    | t_start :: _ -> Some (t_end -. t_start))
+
+let window_candidates w ~lo ~hi =
+  assert (lo <= hi);
+  let inner =
+    Array.to_list w.pts
+    |> List.filter (fun (t, _) -> t > lo && t < hi)
+  in
+  ((lo, value w lo) :: inner) @ [ (hi, value w hi) ]
+
+let best_candidate better w ~lo ~hi =
+  match window_candidates w ~lo ~hi with
+  | [] -> assert false
+  | first :: rest ->
+    let pick ((_, bv) as best) ((_, v) as c) =
+      if better v bv then c else best
+    in
+    List.fold_left pick first rest
+
+let extremum w ~lo ~hi = best_candidate ( < ) w ~lo ~hi
+let maximum w ~lo ~hi = best_candidate ( > ) w ~lo ~hi
+
+let map_values f w = { pts = Array.map (fun (t, v) -> (t, f v)) w.pts }
+
+let sample w ~times = Array.map (value w) times
+
+let pp ppf w =
+  Array.iter (fun (t, v) -> Format.fprintf ppf "%.4g:%.4g " t v) w.pts

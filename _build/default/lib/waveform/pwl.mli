@@ -1,0 +1,79 @@
+(** Piecewise-linear (PWL) voltage waveforms.
+
+    Inputs to gates are specified as PWL sources (exactly as the paper's
+    HSPICE decks did, "to precisely control the separations and rise times
+    of the inputs"), and simulator probes return sampled waveforms that we
+    also treat as PWL.  A waveform holds a non-empty, strictly
+    time-increasing list of [(time, value)] breakpoints; before the first
+    breakpoint and after the last one the value is held constant. *)
+
+type t
+
+type direction = Rising | Falling | Either
+(** Crossing direction filter for {!crossings} and friends. *)
+
+val of_points : (float * float) list -> t
+(** Build from breakpoints.  Requires a non-empty list with strictly
+    increasing times.  Raises [Invalid_argument] otherwise. *)
+
+val of_samples : times:float array -> values:float array -> t
+(** Build from parallel arrays (e.g. a simulator probe).  Same contract as
+    {!of_points}. *)
+
+val points : t -> (float * float) array
+(** The breakpoints, in time order. *)
+
+val constant : float -> t
+(** A flat waveform (single breakpoint at t = 0). *)
+
+val ramp : t0:float -> width:float -> v_from:float -> v_to:float -> t
+(** [ramp ~t0 ~width ~v_from ~v_to] holds [v_from] until [t0], moves
+    linearly to [v_to] over [width] seconds, then holds [v_to].
+    [width = 0.] degenerates to a step at [t0]. *)
+
+val value : t -> float -> float
+(** [value w t]: linear interpolation between breakpoints, constant
+    extension outside. *)
+
+val shift : t -> float -> t
+(** [shift w dt] moves the waveform later by [dt] (earlier when negative). *)
+
+val start_time : t -> float
+val end_time : t -> float
+
+val crossings : ?direction:direction -> t -> float -> float list
+(** [crossings w v] returns every time at which [w] crosses level [v],
+    in increasing order, filtered by [direction] (default [Either]).
+    A segment that merely touches [v] without sign change is not a
+    crossing; a segment lying exactly on [v] contributes its start. *)
+
+val first_crossing : ?direction:direction -> ?after:float -> t -> float -> float option
+(** First crossing of level [v] at or after time [after] (default: from
+    the beginning). *)
+
+val last_crossing : ?direction:direction -> t -> float -> float option
+
+val transition_time : t -> v_start:float -> v_end:float -> float option
+(** Output/input transition time between two measurement thresholds: the
+    time from the *last* crossing of [v_start] that is followed by a
+    crossing of [v_end], to that first subsequent crossing of [v_end].
+    Returns [None] when the waveform never completes the excursion.  Works
+    for rising ([v_start < v_end]) and falling ([v_start > v_end])
+    transitions. *)
+
+val extremum : t -> lo:float -> hi:float -> float * float
+(** [extremum w ~lo ~hi] is [(t_min, v_min)] over the window if the
+    waveform dips (used for glitch magnitude); more precisely it returns
+    the time and value of the minimum of [w] over [\[lo, hi\]].  Requires
+    [lo <= hi]. *)
+
+val maximum : t -> lo:float -> hi:float -> float * float
+(** Same as {!extremum} for the maximum. *)
+
+val map_values : (float -> float) -> t -> t
+(** Pointwise transform of the breakpoint values. *)
+
+val sample : t -> times:float array -> float array
+
+val pp : Format.formatter -> t -> unit
+(** Compact [t:v t:v ...] rendering for debugging. *)

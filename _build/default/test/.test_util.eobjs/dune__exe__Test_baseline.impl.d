@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Float Lazy List Proxim_baseline Proxim_core Proxim_gates Proxim_macromodel Proxim_measure Proxim_vtc

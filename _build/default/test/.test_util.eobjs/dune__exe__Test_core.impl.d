@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Lazy List Printf Proxim_core Proxim_gates Proxim_macromodel Proxim_measure Proxim_util Proxim_vtc

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Float Int64 List Proxim_device Proxim_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_flat.ml: Alcotest Array Float List Printf Proxim_circuit Proxim_gates Proxim_measure Proxim_sta Proxim_vtc Proxim_waveform

@@ -1,0 +1,1 @@
+test/test_gates.ml: Alcotest Array Fun Int64 List Printf Proxim_circuit Proxim_gates Proxim_spice Proxim_util Proxim_waveform QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_macromodel.ml: Alcotest Float Lazy List Printf Proxim_gates Proxim_macromodel Proxim_measure Proxim_util Proxim_vtc String

@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Float Lazy List Proxim_gates Proxim_measure Proxim_vtc Proxim_waveform

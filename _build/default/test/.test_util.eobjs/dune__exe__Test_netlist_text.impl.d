@@ -1,0 +1,1 @@
+test/test_netlist_text.ml: Alcotest List Printf Proxim_gates Proxim_sta String

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Float List Printf Proxim_circuit Proxim_device Proxim_spice Proxim_util Proxim_waveform

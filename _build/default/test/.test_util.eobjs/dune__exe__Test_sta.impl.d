@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Float Lazy List Proxim_gates Proxim_measure Proxim_sta Proxim_vtc String

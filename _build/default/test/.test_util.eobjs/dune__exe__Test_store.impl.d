@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Filename Fun Lazy List Printf Proxim_core Proxim_gates Proxim_macromodel Proxim_measure Proxim_util Proxim_vtc String Sys

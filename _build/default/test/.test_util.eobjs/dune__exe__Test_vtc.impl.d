@@ -1,0 +1,1 @@
+test/test_vtc.ml: Alcotest Array Lazy List Proxim_gates Proxim_vtc

@@ -1,0 +1,1 @@
+test/test_waveform.ml: Alcotest Float Int64 List Proxim_util Proxim_waveform QCheck QCheck_alcotest

@@ -1,0 +1,196 @@
+(* Tests for the MOSFET compact models: regions, continuity, symmetry,
+   passivity and derivative consistency. *)
+
+module M = Proxim_device.Mosfet
+module Prng = Proxim_util.Prng
+
+let nmos ?(kind = M.Shichman_hodges) () =
+  {
+    M.polarity = M.Nmos;
+    vt0 = 0.7;
+    kp = 120e-6;
+    lambda = 0.05;
+    w = 4e-6;
+    l = 0.8e-6;
+    kind;
+  }
+
+let pmos ?(kind = M.Shichman_hodges) () =
+  {
+    M.polarity = M.Pmos;
+    vt0 = -0.8;
+    kp = 40e-6;
+    lambda = 0.05;
+    w = 8e-6;
+    l = 0.8e-6;
+    kind;
+  }
+
+let check_float ?(eps = 1e-12) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let test_strength () =
+  let p = nmos () in
+  check_float ~eps:1e-9 "beta" (120e-6 *. 5.) (M.beta p);
+  check_float ~eps:1e-9 "K = beta/2" (0.5 *. M.beta p) (M.k_strength p)
+
+let test_cutoff () =
+  let e = M.eval (nmos ()) ~vg:0.5 ~vd:5. ~vs:0. in
+  check_float "no current" 0. e.M.id;
+  check_float "no gm" 0. e.M.did_dvg;
+  Alcotest.(check string) "region" "cutoff"
+    (M.region (nmos ()) ~vg:0.5 ~vd:5. ~vs:0.)
+
+let test_regions () =
+  let p = nmos () in
+  Alcotest.(check string) "linear" "linear" (M.region p ~vg:5. ~vd:0.5 ~vs:0.);
+  Alcotest.(check string) "saturation" "saturation"
+    (M.region p ~vg:2. ~vd:5. ~vs:0.)
+
+let test_saturation_value () =
+  (* Id = K vov^2 (1 + lambda vds), K = 0.5*120u*5 = 300u *)
+  let p = { (nmos ()) with M.lambda = 0. } in
+  let e = M.eval p ~vg:1.7 ~vd:5. ~vs:0. in
+  check_float ~eps:1e-12 "square law" (300e-6 *. 1.0) e.M.id
+
+let test_triode_value () =
+  let p = { (nmos ()) with M.lambda = 0. } in
+  (* Id = beta (vov vds - vds^2/2) = 600u (4.3*0.1 - 0.005) *)
+  let e = M.eval p ~vg:5.0 ~vd:0.1 ~vs:0. in
+  check_float ~eps:1e-12 "triode" (600e-6 *. ((4.3 *. 0.1) -. 0.005)) e.M.id
+
+let test_pmos_conducts_when_gate_low () =
+  let e = M.eval (pmos ()) ~vg:0. ~vd:0. ~vs:5. in
+  (* current flows source(5V) -> drain(0V): id into drain is negative *)
+  Alcotest.(check bool) "negative drain current" true (e.M.id < -1e-5)
+
+let test_pmos_off_when_gate_high () =
+  let e = M.eval (pmos ()) ~vg:5. ~vd:0. ~vs:5. in
+  check_float "off" 0. e.M.id
+
+let test_source_drain_symmetry () =
+  (* swapping the diffusion terminals negates the current *)
+  let p = nmos () in
+  let a = M.eval p ~vg:5. ~vd:2. ~vs:0. in
+  let b = M.eval p ~vg:5. ~vd:0. ~vs:2. in
+  check_float ~eps:1e-15 "antisymmetric" (-.a.M.id) b.M.id
+
+let test_continuity_across_vds_zero () =
+  let p = nmos () in
+  let before = (M.eval p ~vg:5. ~vd:(-1e-7) ~vs:0.).M.id in
+  let after = (M.eval p ~vg:5. ~vd:1e-7 ~vs:0.).M.id in
+  Alcotest.(check bool) "continuous through 0" true
+    (Float.abs (before -. after) < 1e-9)
+
+let test_continuity_at_saturation_boundary () =
+  let p = { (nmos ()) with M.lambda = 0. } in
+  let vov = 4.3 in
+  let below = (M.eval p ~vg:5. ~vd:(vov -. 1e-7) ~vs:0.).M.id in
+  let above = (M.eval p ~vg:5. ~vd:(vov +. 1e-7) ~vs:0.).M.id in
+  Alcotest.(check bool) "current continuous" true
+    (Float.abs (below -. above) /. above < 1e-6)
+
+let test_alpha_power_reduces_to_sh () =
+  let sh = nmos () in
+  let ap = nmos ~kind:(M.Alpha_power 2.) () in
+  List.iter
+    (fun (vg, vd) ->
+      let a = (M.eval sh ~vg ~vd ~vs:0.).M.id in
+      let b = (M.eval ap ~vg ~vd ~vs:0.).M.id in
+      Alcotest.(check (float 1e-12)) "alpha=2 equals SH" a b)
+    [ (5., 0.1); (5., 5.); (2., 1.); (1., 5.); (0.5, 3.) ]
+
+let test_alpha_power_weaker_saturation_growth () =
+  (* alpha < 2 compresses the overdrive dependence *)
+  let ap = { (nmos ~kind:(M.Alpha_power 1.3) ()) with M.lambda = 0. } in
+  let i1 = (M.eval ap ~vg:1.7 ~vd:5. ~vs:0.).M.id in
+  let i2 = (M.eval ap ~vg:2.7 ~vd:5. ~vs:0.).M.id in
+  let ratio = i2 /. i1 in
+  Alcotest.(check bool) "sub-quadratic" true (ratio < 4. && ratio > 1.5)
+
+(* derivative consistency: analytic vs central finite differences *)
+let fd_check p ~vg ~vd ~vs =
+  let h = 1e-6 in
+  let id v = (M.eval p ~vg:v.(0) ~vd:v.(1) ~vs:v.(2)).M.id in
+  let base = [| vg; vd; vs |] in
+  let fd i =
+    let up = Array.copy base and dn = Array.copy base in
+    up.(i) <- up.(i) +. h;
+    dn.(i) <- dn.(i) -. h;
+    (id up -. id dn) /. (2. *. h)
+  in
+  let e = M.eval p ~vg ~vd ~vs in
+  let ok d1 d2 = Float.abs (d1 -. d2) <= 1e-6 +. (1e-4 *. Float.abs d2) in
+  ok e.M.did_dvg (fd 0) && ok e.M.did_dvd (fd 1) && ok e.M.did_dvs (fd 2)
+
+let prop_derivatives kind name =
+  QCheck.Test.make ~name ~count:300
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 11)) in
+      let p = if Prng.bool rng then nmos ~kind () else pmos ~kind () in
+      let v () = Prng.float rng ~lo:(-0.5) ~hi:5.5 in
+      let vg = v () and vd = v () and vs = v () in
+      (* avoid FD straddling the model's region kinks *)
+      let p_ref = p in
+      let r a b = M.region p_ref ~vg ~vd:a ~vs:b in
+      QCheck.assume (r (vd +. 2e-6) vs = r (vd -. 2e-6) vs);
+      QCheck.assume (r vd (vs +. 2e-6) = r vd (vs -. 2e-6));
+      QCheck.assume
+        (M.region p_ref ~vg:(vg +. 2e-6) ~vd ~vs
+         = M.region p_ref ~vg:(vg -. 2e-6) ~vd ~vs);
+      QCheck.assume (Float.abs (vd -. vs) > 1e-4);
+      fd_check p ~vg ~vd ~vs)
+
+let prop_passivity =
+  (* with the gate fixed, the channel is dissipative: current flows from
+     the higher diffusion terminal to the lower one *)
+  QCheck.Test.make ~name:"channel current follows the voltage drop"
+    ~count:300
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 23)) in
+      let p = nmos () in
+      let vg = Prng.float rng ~lo:1. ~hi:5. in
+      let vd = Prng.float rng ~lo:0. ~hi:5. in
+      let vs = Prng.float rng ~lo:0. ~hi:5. in
+      let e = M.eval p ~vg ~vd ~vs in
+      (* id into drain has the sign of (vd - vs) whenever nonzero *)
+      e.M.id = 0. || e.M.id *. (vd -. vs) >= 0.)
+
+let () =
+  Alcotest.run "device"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "strength" `Quick test_strength;
+          Alcotest.test_case "cutoff" `Quick test_cutoff;
+          Alcotest.test_case "regions" `Quick test_regions;
+          Alcotest.test_case "saturation" `Quick test_saturation_value;
+          Alcotest.test_case "triode" `Quick test_triode_value;
+          Alcotest.test_case "pmos on" `Quick test_pmos_conducts_when_gate_low;
+          Alcotest.test_case "pmos off" `Quick test_pmos_off_when_gate_high;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "S/D symmetry" `Quick test_source_drain_symmetry;
+          Alcotest.test_case "continuity vds=0" `Quick
+            test_continuity_across_vds_zero;
+          Alcotest.test_case "continuity vdsat" `Quick
+            test_continuity_at_saturation_boundary;
+        ] );
+      ( "alpha-power",
+        [
+          Alcotest.test_case "alpha=2 is SH" `Quick test_alpha_power_reduces_to_sh;
+          Alcotest.test_case "sub-quadratic" `Quick
+            test_alpha_power_weaker_saturation_growth;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_derivatives M.Shichman_hodges "SH derivatives match FD");
+          QCheck_alcotest.to_alcotest
+            (prop_derivatives (M.Alpha_power 1.3) "AP derivatives match FD");
+          QCheck_alcotest.to_alcotest prop_passivity;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+(* Tests for the single- and dual-input macromodels. *)
+
+module Gate = Proxim_gates.Gate
+module Tech = Proxim_gates.Tech
+module Vtc = Proxim_vtc.Vtc
+module Measure = Proxim_measure.Measure
+module Single = Proxim_macromodel.Single
+module Dual = Proxim_macromodel.Dual
+module Models = Proxim_macromodel.Models
+module Floatx = Proxim_util.Floatx
+
+let tech = Tech.generic_5v
+let nand2 = Gate.nand tech ~fan_in:2
+let th = lazy (Vtc.thresholds ~points:201 nand2)
+
+(* built once; a coarse tau grid keeps the suite fast *)
+let single_fall =
+  lazy
+    (Single.build
+       ~taus:(Floatx.logspace 30e-12 3e-9 8)
+       nand2 (Lazy.force th) ~pin:0 ~edge:Measure.Fall)
+
+let test_single_matches_simulation_at_knots () =
+  let th = Lazy.force th in
+  let s = Lazy.force single_fall in
+  List.iter
+    (fun tau ->
+      let golden = Measure.single_input nand2 th ~pin:0 ~edge:Measure.Fall ~tau in
+      let pred = Single.delay s ~tau in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay within 1%% at tau=%.0fps" (tau *. 1e12))
+        true
+        (Float.abs (pred -. golden.Measure.delay) < 0.01 *. golden.Measure.delay))
+    [ 30e-12; 3e-9 ]
+
+let test_single_interpolates_between_knots () =
+  let th = Lazy.force th in
+  let s = Lazy.force single_fall in
+  let tau = 333e-12 in
+  let golden = Measure.single_input nand2 th ~pin:0 ~edge:Measure.Fall ~tau in
+  let pred = Single.delay s ~tau in
+  Alcotest.(check bool) "delay within 3% between knots" true
+    (Float.abs (pred -. golden.Measure.delay) < 0.03 *. golden.Measure.delay);
+  let predt = Single.out_transition s ~tau in
+  Alcotest.(check bool) "transition within 5%" true
+    (Float.abs (predt -. golden.Measure.out_transition)
+     < 0.05 *. golden.Measure.out_transition)
+
+let test_single_monotone_in_tau () =
+  let s = Lazy.force single_fall in
+  let prev = ref 0. in
+  List.iter
+    (fun tau ->
+      let d = Single.delay s ~tau in
+      Alcotest.(check bool) "monotone" true (d >= !prev);
+      prev := d)
+    [ 50e-12; 100e-12; 300e-12; 900e-12; 2700e-12 ]
+
+let test_single_load_scaling () =
+  (* dimensional analysis: the same table must answer other loads; a
+     heavier load can only slow the gate *)
+  let s = Lazy.force single_fall in
+  let tau = 300e-12 in
+  let light = Single.delay ~c_load:50e-15 s ~tau in
+  let heavy = Single.delay ~c_load:300e-15 s ~tau in
+  Alcotest.(check bool) "heavier load slower" true (heavy > light)
+
+let test_single_metadata () =
+  let s = Lazy.force single_fall in
+  Alcotest.(check int) "pin" 0 (Single.pin s);
+  Alcotest.(check bool) "edge" true (Single.edge s = Measure.Fall);
+  Alcotest.(check bool) "argument positive" true
+    (Single.argument s ~tau:1e-10 > 0.)
+
+let test_tau_of_delay_inverse () =
+  let s = Lazy.force single_fall in
+  let tau = 500e-12 in
+  let d = Single.delay s ~tau in
+  let tau' = Single.tau_of_delay s ~delay:d in
+  Alcotest.(check bool) "inverse roundtrip" true
+    (Float.abs (tau' -. tau) < 0.02 *. tau)
+
+let test_oracle_dual_reduces_to_single_outside_window () =
+  let th = Lazy.force th in
+  let tau = 200e-12 in
+  let single = Measure.single_input nand2 th ~pin:0 ~edge:Measure.Fall ~tau in
+  let far =
+    Dual.oracle nand2 th ~dom:0 ~other:1 ~edge:Measure.Fall ~tau_dom:tau
+      ~tau_other:tau ~sep:3e-9
+  in
+  Alcotest.(check bool) "delay equals single" true
+    (Float.abs (far.Measure.delay -. single.Measure.delay)
+     < 0.02 *. single.Measure.delay)
+
+let test_oracle_dual_proximity_helps_falling () =
+  let th = Lazy.force th in
+  let tau = 200e-12 in
+  let single = Measure.single_input nand2 th ~pin:0 ~edge:Measure.Fall ~tau in
+  let close =
+    Dual.oracle nand2 th ~dom:0 ~other:1 ~edge:Measure.Fall ~tau_dom:tau
+      ~tau_other:tau ~sep:0.
+  in
+  Alcotest.(check bool) "simultaneous pair faster" true
+    (close.Measure.delay < single.Measure.delay)
+
+let test_oracle_dual_negative_separation () =
+  let th = Lazy.force th in
+  (* the other input long before the dominant one: its PMOS is already
+     fully conducting; delay must be below the single-input value *)
+  let tau = 200e-12 in
+  let single = Measure.single_input nand2 th ~pin:0 ~edge:Measure.Fall ~tau in
+  let early =
+    Dual.oracle nand2 th ~dom:0 ~other:1 ~edge:Measure.Fall ~tau_dom:tau
+      ~tau_other:tau ~sep:(-1e-9)
+  in
+  Alcotest.(check bool) "pre-conducting help" true
+    (early.Measure.delay < single.Measure.delay)
+
+(* a small dual table; coarse axes keep this under a few seconds *)
+let single_other_fall =
+  lazy
+    (Single.build
+       ~taus:(Floatx.logspace 30e-12 3e-9 8)
+       nand2 (Lazy.force th) ~pin:1 ~edge:Measure.Fall)
+
+let dual_table =
+  lazy
+    (Dual.build
+       ~x_tau:(Floatx.logspace 0.5 4. 4)
+       ~x_sep:(Floatx.linspace (-2.) 1.2 6)
+       nand2 (Lazy.force th)
+       ~single_dom:(Lazy.force single_fall)
+       ~single_other:(Lazy.force single_other_fall) ~other:1)
+
+let test_dual_table_matches_oracle () =
+  let th = Lazy.force th in
+  let t = Lazy.force dual_table in
+  let s = Lazy.force single_fall in
+  let tau_dom = 300e-12 and tau_other = 250e-12 and sep = 50e-12 in
+  let oracle =
+    Dual.oracle nand2 th ~dom:0 ~other:1 ~edge:Measure.Fall ~tau_dom
+      ~tau_other ~sep
+  in
+  let pred =
+    Dual.delay t ~single_dom:s ~single_other:(Lazy.force single_other_fall)
+      ~tau_dom ~tau_other ~sep
+  in
+  Alcotest.(check bool) "table within 10% of oracle" true
+    (Float.abs (pred -. oracle.Measure.delay) < 0.10 *. oracle.Measure.delay)
+
+let test_dual_table_asymptote () =
+  let t = Lazy.force dual_table in
+  let s = Lazy.force single_fall in
+  let tau = 300e-12 in
+  let d1 = Single.delay s ~tau in
+  let far =
+    Dual.delay t ~single_dom:s ~single_other:(Lazy.force single_other_fall)
+      ~tau_dom:tau ~tau_other:tau ~sep:(2. *. d1)
+  in
+  Alcotest.(check (float 1e-15)) "single-input asymptote" d1 far
+
+let test_dual_ratio_bounds () =
+  let t = Lazy.force dual_table in
+  (* for falling NAND inputs the ratio is a speed-up: within (0, ~1.2] *)
+  List.iter
+    (fun (x1, x2, x3) ->
+      let r = Dual.delay_ratio t ~x1 ~x2 ~x3 in
+      Alcotest.(check bool)
+        (Printf.sprintf "ratio sane at (%.2f %.2f %.2f)" x1 x2 x3)
+        true
+        (r > 0.05 && r < 1.5))
+    [ (1., 1., 0.); (0.5, 2., -1.); (3., 0.7, 0.5); (2., 2., 1.) ]
+
+let test_models_of_oracle_consistency () =
+  let th = Lazy.force th in
+  let m = Models.of_oracle nand2 th in
+  let tau = 200e-12 in
+  let d = m.Models.delay1 ~pin:0 ~edge:Measure.Fall ~tau in
+  let golden = Measure.single_input nand2 th ~pin:0 ~edge:Measure.Fall ~tau in
+  Alcotest.(check (float 1e-15)) "oracle = golden" golden.Measure.delay d;
+  (* memoized: a second query must return the identical value *)
+  Alcotest.(check (float 0.)) "memoized" d
+    (m.Models.delay1 ~pin:0 ~edge:Measure.Fall ~tau)
+
+let test_models_metadata () =
+  let th = Lazy.force th in
+  let m = Models.of_oracle nand2 th in
+  Alcotest.(check int) "fan_in" 2 m.Models.fan_in;
+  Alcotest.(check bool) "named" true
+    (String.length m.Models.name > 0)
+
+let () =
+  Alcotest.run "macromodel"
+    [
+      ( "single",
+        [
+          Alcotest.test_case "matches simulation at knots" `Quick
+            test_single_matches_simulation_at_knots;
+          Alcotest.test_case "interpolates" `Quick
+            test_single_interpolates_between_knots;
+          Alcotest.test_case "monotone" `Quick test_single_monotone_in_tau;
+          Alcotest.test_case "load scaling" `Quick test_single_load_scaling;
+          Alcotest.test_case "metadata" `Quick test_single_metadata;
+          Alcotest.test_case "tau_of_delay" `Quick test_tau_of_delay_inverse;
+        ] );
+      ( "dual oracle",
+        [
+          Alcotest.test_case "outside window" `Quick
+            test_oracle_dual_reduces_to_single_outside_window;
+          Alcotest.test_case "proximity helps" `Quick
+            test_oracle_dual_proximity_helps_falling;
+          Alcotest.test_case "negative separation" `Quick
+            test_oracle_dual_negative_separation;
+        ] );
+      ( "dual table",
+        [
+          Alcotest.test_case "matches oracle" `Slow test_dual_table_matches_oracle;
+          Alcotest.test_case "asymptote" `Slow test_dual_table_asymptote;
+          Alcotest.test_case "ratio bounds" `Slow test_dual_ratio_bounds;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "oracle consistency" `Quick
+            test_models_of_oracle_consistency;
+          Alcotest.test_case "metadata" `Quick test_models_metadata;
+        ] );
+    ]

@@ -1,0 +1,198 @@
+(* Tests for measurement semantics and the golden-reference runner. *)
+
+module Gate = Proxim_gates.Gate
+module Tech = Proxim_gates.Tech
+module Vtc = Proxim_vtc.Vtc
+module Pwl = Proxim_waveform.Pwl
+module Measure = Proxim_measure.Measure
+
+let tech = Tech.generic_5v
+let nand3 = Gate.nand tech ~fan_in:3
+let th = lazy (Vtc.thresholds ~points:201 nand3)
+
+let check_float ?(eps = 1e-12) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let test_input_threshold () =
+  let th = Lazy.force th in
+  check_float "rise uses vil" th.Vtc.vil
+    (Measure.input_threshold th Measure.Rise);
+  check_float "fall uses vih" th.Vtc.vih
+    (Measure.input_threshold th Measure.Fall)
+
+let test_ramp_positioning () =
+  let th = Lazy.force th in
+  List.iter
+    (fun edge ->
+      let stim = { Measure.edge; tau = 400e-12; cross_time = 2e-9 } in
+      let wave = Measure.ramp_of_stimulus th stim in
+      match Measure.input_cross_time th wave edge with
+      | Some t -> check_float ~eps:1e-15 "crossing placed" 2e-9 t
+      | None -> Alcotest.fail "no crossing")
+    [ Measure.Rise; Measure.Fall ]
+
+let test_ramp_full_swing () =
+  let th = Lazy.force th in
+  let stim = { Measure.edge = Measure.Rise; tau = 100e-12; cross_time = 1e-9 } in
+  let wave = Measure.ramp_of_stimulus th stim in
+  check_float "starts at 0" 0. (Pwl.value wave 0.);
+  check_float "ends at vdd" 5. (Pwl.value wave 5e-9)
+
+let test_separation () =
+  let th = Lazy.force th in
+  let mk cross edge = Measure.ramp_of_stimulus th { Measure.edge; tau = 200e-12; cross_time = cross } in
+  let wi = mk 1e-9 Measure.Fall and wj = mk 1.3e-9 Measure.Fall in
+  match Measure.separation th ~i:(wi, Measure.Fall) ~j:(wj, Measure.Fall) with
+  | Some s -> check_float ~eps:1e-15 "s_ij" 0.3e-9 s
+  | None -> Alcotest.fail "no separation"
+
+let test_opposite () =
+  Alcotest.(check bool) "rise<->fall" true
+    (Measure.opposite Measure.Rise = Measure.Fall
+     && Measure.opposite Measure.Fall = Measure.Rise)
+
+let test_single_input_delay_positive_and_monotone () =
+  let th = Lazy.force th in
+  (* the whole point of the threshold rule: delay stays positive and grows
+     with the input transition time (paper §2) *)
+  List.iter
+    (fun edge ->
+      let prev = ref 0. in
+      List.iter
+        (fun tau ->
+          let obs = Measure.single_input nand3 th ~pin:0 ~edge ~tau in
+          Alcotest.(check bool) "positive" true (obs.Measure.delay > 0.);
+          Alcotest.(check bool) "monotone in tau" true
+            (obs.Measure.delay >= !prev -. 1e-12);
+          Alcotest.(check bool) "transition positive" true
+            (obs.Measure.out_transition > 0.);
+          prev := obs.Measure.delay)
+        [ 50e-12; 150e-12; 400e-12; 1000e-12; 2500e-12 ])
+    [ Measure.Rise; Measure.Fall ]
+
+let test_stack_position_affects_delay () =
+  let th = Lazy.force th in
+  let d pin =
+    (Measure.single_input nand3 th ~pin ~edge:Measure.Rise ~tau:300e-12)
+      .Measure.delay
+  in
+  (* pin 0 (next to the output) discharges through the whole stack below
+     it, so it is the slowest for rising inputs *)
+  Alcotest.(check bool) "a slower than c" true (d 0 > d 2)
+
+let test_load_slows_gate () =
+  let th = Lazy.force th in
+  let obs_small =
+    Measure.single_input ~load:50e-15 nand3 th ~pin:0 ~edge:Measure.Rise
+      ~tau:300e-12
+  in
+  let obs_big =
+    Measure.single_input ~load:400e-15 nand3 th ~pin:0 ~edge:Measure.Rise
+      ~tau:300e-12
+  in
+  Alcotest.(check bool) "bigger load, bigger delay" true
+    (obs_big.Measure.delay > obs_small.Measure.delay *. 1.5);
+  Alcotest.(check bool) "bigger load, slower output" true
+    (obs_big.Measure.out_transition > obs_small.Measure.out_transition)
+
+let test_multi_input_matches_single_at_large_separation () =
+  let th = Lazy.force th in
+  let tau = 300e-12 in
+  let single =
+    Measure.single_input nand3 th ~pin:0 ~edge:Measure.Fall ~tau
+  in
+  (* other input crosses far outside the proximity window *)
+  let stimuli =
+    [
+      (0, { Measure.edge = Measure.Fall; tau; cross_time = 1e-9 });
+      (1, { Measure.edge = Measure.Fall; tau; cross_time = 4e-9 });
+    ]
+  in
+  let multi = Measure.multi_input nand3 th ~stimuli ~ref_pin:0 in
+  Alcotest.(check bool) "delay unaffected" true
+    (Float.abs (multi.Measure.delay -. single.Measure.delay)
+     < 0.02 *. single.Measure.delay)
+
+let test_proximity_speeds_up_falling_pair () =
+  let th = Lazy.force th in
+  let tau = 300e-12 in
+  let single = Measure.single_input nand3 th ~pin:0 ~edge:Measure.Fall ~tau in
+  let stimuli =
+    [
+      (0, { Measure.edge = Measure.Fall; tau; cross_time = 2e-9 });
+      (1, { Measure.edge = Measure.Fall; tau; cross_time = 2e-9 });
+    ]
+  in
+  let multi = Measure.multi_input nand3 th ~stimuli ~ref_pin:0 in
+  (* two conducting PMOS in parallel: output rises faster (Fig 1-2a) *)
+  Alcotest.(check bool) "simultaneous falling pair is faster" true
+    (multi.Measure.delay < single.Measure.delay);
+  Alcotest.(check bool) "output transition faster too" true
+    (multi.Measure.out_transition < single.Measure.out_transition)
+
+let test_proximity_slows_down_rising_pair () =
+  let th = Lazy.force th in
+  let tau = 300e-12 in
+  let single = Measure.single_input nand3 th ~pin:0 ~edge:Measure.Rise ~tau in
+  let stimuli =
+    [
+      (0, { Measure.edge = Measure.Rise; tau; cross_time = 2e-9 });
+      (1, { Measure.edge = Measure.Rise; tau; cross_time = 2e-9 });
+    ]
+  in
+  let multi = Measure.multi_input nand3 th ~stimuli ~ref_pin:0 in
+  (* the series stack waits for both transistors (Fig 1-2c) *)
+  Alcotest.(check bool) "simultaneous rising pair is slower" true
+    (multi.Measure.delay > single.Measure.delay)
+
+let test_multi_input_validation () =
+  let th = Lazy.force th in
+  Alcotest.check_raises "ref not in stimuli"
+    (Invalid_argument "Measure.multi_input: ref_pin not in stimuli")
+    (fun () ->
+      ignore
+        (Measure.multi_input nand3 th
+           ~stimuli:[ (0, { Measure.edge = Measure.Fall; tau = 1e-10; cross_time = 1e-9 }) ]
+           ~ref_pin:1));
+  Alcotest.check_raises "mixed edges"
+    (Invalid_argument "Measure.multi_input: mixed edge directions")
+    (fun () ->
+      ignore
+        (Measure.multi_input nand3 th
+           ~stimuli:
+             [
+               (0, { Measure.edge = Measure.Fall; tau = 1e-10; cross_time = 1e-9 });
+               (1, { Measure.edge = Measure.Rise; tau = 1e-10; cross_time = 1e-9 });
+             ]
+           ~ref_pin:0))
+
+let () =
+  Alcotest.run "measure"
+    [
+      ( "conventions",
+        [
+          Alcotest.test_case "input thresholds" `Quick test_input_threshold;
+          Alcotest.test_case "ramp positioning" `Quick test_ramp_positioning;
+          Alcotest.test_case "ramp swing" `Quick test_ramp_full_swing;
+          Alcotest.test_case "separation" `Quick test_separation;
+          Alcotest.test_case "opposite" `Quick test_opposite;
+        ] );
+      ( "single input",
+        [
+          Alcotest.test_case "positive + monotone" `Quick
+            test_single_input_delay_positive_and_monotone;
+          Alcotest.test_case "stack position" `Quick
+            test_stack_position_affects_delay;
+          Alcotest.test_case "load dependence" `Quick test_load_slows_gate;
+        ] );
+      ( "proximity phenomenology",
+        [
+          Alcotest.test_case "large separation = single" `Quick
+            test_multi_input_matches_single_at_large_separation;
+          Alcotest.test_case "falling pair speeds up" `Quick
+            test_proximity_speeds_up_falling_pair;
+          Alcotest.test_case "rising pair slows down" `Quick
+            test_proximity_slows_down_rising_pair;
+          Alcotest.test_case "validation" `Quick test_multi_input_validation;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Tests for VTC extraction and the paper's threshold-selection rule. *)
+
+module Gate = Proxim_gates.Gate
+module Tech = Proxim_gates.Tech
+module Vtc = Proxim_vtc.Vtc
+
+let tech = Tech.generic_5v
+
+(* share the expensive family across tests *)
+let nand3 = Gate.nand tech ~fan_in:3
+let family3 = lazy (Vtc.family ~points:201 nand3)
+
+let test_family_size () =
+  Alcotest.(check int) "2^3 - 1 curves" 7 (List.length (Lazy.force family3))
+
+let test_curve_ordering () =
+  let c = Vtc.curve ~points:201 nand3 ~subset:[ 0 ] in
+  Alcotest.(check bool) "vil < vm" true (c.Vtc.vil < c.Vtc.vm);
+  Alcotest.(check bool) "vm < vih" true (c.Vtc.vm < c.Vtc.vih);
+  Alcotest.(check bool) "vil positive" true (c.Vtc.vil > 0.);
+  Alcotest.(check bool) "vih below vdd" true (c.Vtc.vih < 5.)
+
+let test_curve_monotone_falling () =
+  let c = Vtc.curve ~points:201 nand3 ~subset:[ 0; 1; 2 ] in
+  let prev = ref infinity in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "non-increasing" true (v <= !prev +. 1e-6);
+      prev := v)
+    c.Vtc.vout
+
+let test_all_switching_has_highest_thresholds () =
+  (* switching all inputs together shifts the whole VTC right (§2) *)
+  let fam = Lazy.force family3 in
+  let all = List.find (fun c -> c.Vtc.subset = [ 0; 1; 2 ]) fam in
+  List.iter
+    (fun c ->
+      if c.Vtc.subset <> [ 0; 1; 2 ] then begin
+        Alcotest.(check bool) "vm below all-switching" true
+          (c.Vtc.vm <= all.Vtc.vm +. 1e-3);
+        Alcotest.(check bool) "vih below all-switching" true
+          (c.Vtc.vih <= all.Vtc.vih +. 1e-3)
+      end)
+    fam
+
+let test_ground_pin_has_lowest_vil () =
+  (* for a NAND the chosen Vil comes from the input closest to ground *)
+  let fam = Lazy.force family3 in
+  let ground_pin = List.find (fun c -> c.Vtc.subset = [ 2 ]) fam in
+  let chosen = Vtc.choose fam in
+  Alcotest.(check (float 1e-6)) "min vil is pin c's" ground_pin.Vtc.vil
+    chosen.Vtc.vil
+
+let test_choose_rule () =
+  let fam = Lazy.force family3 in
+  let th = Vtc.choose fam in
+  List.iter
+    (fun (c : Vtc.curve) ->
+      Alcotest.(check bool) "vil <= every vil" true (th.Vtc.vil <= c.Vtc.vil);
+      Alcotest.(check bool) "vih >= every vih" true (th.Vtc.vih >= c.Vtc.vih);
+      (* the property the rule guarantees: Vil < Vm < Vih for every curve *)
+      Alcotest.(check bool) "vil < vm" true (th.Vtc.vil < c.Vtc.vm);
+      Alcotest.(check bool) "vm < vih" true (c.Vtc.vm < th.Vtc.vih))
+    fam;
+  Alcotest.(check (float 1e-9)) "vdd recorded" 5. th.Vtc.vdd
+
+let test_choose_empty () =
+  Alcotest.check_raises "empty family"
+    (Invalid_argument "Vtc.choose: empty family") (fun () ->
+      ignore (Vtc.choose []))
+
+let test_curve_rejects_bad_subsets () =
+  Alcotest.check_raises "empty subset"
+    (Invalid_argument "Vtc.curve: empty subset") (fun () ->
+      ignore (Vtc.curve nand3 ~subset:[]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Vtc.curve: pin out of range") (fun () ->
+      ignore (Vtc.curve nand3 ~subset:[ 7 ]))
+
+let test_inverter_thresholds_bracket_midpoint () =
+  let inv = Gate.inverter tech in
+  let th = Vtc.thresholds ~points:201 inv in
+  Alcotest.(check bool) "vil below mid" true (th.Vtc.vil < 2.5);
+  Alcotest.(check bool) "vih above mid" true (th.Vtc.vih > 2.5)
+
+let test_nor_family () =
+  let g = Gate.nor tech ~fan_in:2 in
+  let fam = Vtc.family ~points:201 g in
+  Alcotest.(check int) "3 curves" 3 (List.length fam);
+  let th = Vtc.choose fam in
+  Alcotest.(check bool) "sane" true (th.Vtc.vil > 0. && th.Vtc.vih < 5.)
+
+let () =
+  Alcotest.run "vtc"
+    [
+      ( "family",
+        [
+          Alcotest.test_case "size" `Quick test_family_size;
+          Alcotest.test_case "curve ordering" `Quick test_curve_ordering;
+          Alcotest.test_case "monotone" `Quick test_curve_monotone_falling;
+          Alcotest.test_case "all-switching extreme" `Quick
+            test_all_switching_has_highest_thresholds;
+          Alcotest.test_case "ground pin vil" `Quick
+            test_ground_pin_has_lowest_vil;
+        ] );
+      ( "thresholds",
+        [
+          Alcotest.test_case "choose rule" `Quick test_choose_rule;
+          Alcotest.test_case "choose empty" `Quick test_choose_empty;
+          Alcotest.test_case "bad subsets" `Quick test_curve_rejects_bad_subsets;
+          Alcotest.test_case "inverter" `Quick
+            test_inverter_thresholds_bracket_midpoint;
+          Alcotest.test_case "nor" `Quick test_nor_family;
+        ] );
+    ]

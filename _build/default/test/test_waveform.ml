@@ -1,0 +1,231 @@
+(* Tests for piecewise-linear waveforms. *)
+
+module Pwl = Proxim_waveform.Pwl
+module Prng = Proxim_util.Prng
+
+let check_float ?(eps = 1e-12) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_opt_float ?(eps = 1e-12) msg expected actual =
+  Alcotest.(check (option (float eps))) msg expected actual
+
+let test_construction_rejects_bad_input () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Pwl.of_points: empty") (fun () ->
+      ignore (Pwl.of_points []));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Pwl.of_points: times must be strictly increasing")
+    (fun () -> ignore (Pwl.of_points [ (0., 1.); (0., 2.) ]))
+
+let test_value_interpolation () =
+  let w = Pwl.of_points [ (0., 0.); (1., 10.) ] in
+  check_float "before" 0. (Pwl.value w (-5.));
+  check_float "at start" 0. (Pwl.value w 0.);
+  check_float "mid" 5. (Pwl.value w 0.5);
+  check_float "at end" 10. (Pwl.value w 1.);
+  check_float "after" 10. (Pwl.value w 99.)
+
+let test_constant () =
+  let w = Pwl.constant 3.3 in
+  check_float "anywhere" 3.3 (Pwl.value w 123.);
+  check_float "negative time" 3.3 (Pwl.value w (-1.))
+
+let test_ramp () =
+  let w = Pwl.ramp ~t0:1. ~width:2. ~v_from:0. ~v_to:4. in
+  check_float "before ramp" 0. (Pwl.value w 0.5);
+  check_float "mid ramp" 2. (Pwl.value w 2.);
+  check_float "after ramp" 4. (Pwl.value w 10.)
+
+let test_step_ramp_degenerate () =
+  let w = Pwl.ramp ~t0:1. ~width:0. ~v_from:0. ~v_to:5. in
+  check_float "just before" 0. (Pwl.value w (1. -. 1e-12));
+  check_float "just after" 5. (Pwl.value w (1. +. 1e-12))
+
+let test_shift () =
+  let w = Pwl.shift (Pwl.ramp ~t0:0. ~width:1. ~v_from:0. ~v_to:1.) 2. in
+  check_float "shifted midpoint" 0.5 (Pwl.value w 2.5)
+
+let test_crossings_rising () =
+  let w = Pwl.ramp ~t0:0. ~width:2. ~v_from:0. ~v_to:4. in
+  check_opt_float "first rising" (Some 1.)
+    (Pwl.first_crossing ~direction:Pwl.Rising w 2.);
+  check_opt_float "no falling" None
+    (Pwl.first_crossing ~direction:Pwl.Falling w 2.)
+
+let test_crossings_multiple () =
+  (* triangle wave crossing 0.5 four times *)
+  let w = Pwl.of_points [ (0., 0.); (1., 1.); (2., 0.); (3., 1.); (4., 0.) ] in
+  let all = Pwl.crossings w 0.5 in
+  Alcotest.(check int) "four crossings" 4 (List.length all);
+  let rising = Pwl.crossings ~direction:Pwl.Rising w 0.5 in
+  Alcotest.(check int) "two rising" 2 (List.length rising);
+  check_opt_float "last crossing" (Some 3.5) (Pwl.last_crossing w 0.5)
+
+let test_crossing_touch_is_not_crossing () =
+  (* dips to exactly the level and returns: no crossing *)
+  let w = Pwl.of_points [ (0., 1.); (1., 0.5); (2., 1.) ] in
+  Alcotest.(check int) "touch ignored" 0 (List.length (Pwl.crossings w 0.5))
+
+let test_crossing_plateau () =
+  (* sits exactly on the level then continues down: one falling crossing at
+     the plateau start *)
+  let w = Pwl.of_points [ (0., 1.); (1., 0.5); (2., 0.5); (3., 0.) ] in
+  let falls = Pwl.crossings ~direction:Pwl.Falling w 0.5 in
+  Alcotest.(check (list (float 1e-12))) "plateau start" [ 1. ] falls
+
+let test_after_filter () =
+  let w = Pwl.of_points [ (0., 0.); (1., 1.); (2., 0.); (3., 1.) ] in
+  check_opt_float "after 1.5" (Some 2.5)
+    (Pwl.first_crossing ~direction:Pwl.Rising ~after:1.5 w 0.5)
+
+let test_transition_time_rising () =
+  let w = Pwl.ramp ~t0:0. ~width:1. ~v_from:0. ~v_to:1. in
+  check_opt_float "20-80 equivalent" (Some 0.5)
+    (Pwl.transition_time w ~v_start:0.25 ~v_end:0.75)
+
+let test_transition_time_falling () =
+  let w = Pwl.ramp ~t0:0. ~width:2. ~v_from:4. ~v_to:0. in
+  check_opt_float "falling transition" (Some 1.)
+    (Pwl.transition_time w ~v_start:3. ~v_end:1.)
+
+let test_transition_time_incomplete () =
+  let w = Pwl.ramp ~t0:0. ~width:1. ~v_from:0. ~v_to:0.5 in
+  check_opt_float "never reaches" None
+    (Pwl.transition_time w ~v_start:0.25 ~v_end:0.75)
+
+let test_transition_uses_last_start_crossing () =
+  (* wiggles around v_start before committing: measure from the last
+     crossing before v_end is reached *)
+  let w =
+    Pwl.of_points
+      [ (0., 0.); (1., 0.3); (2., 0.1); (3., 0.3); (4., 0.1); (5., 1.) ]
+  in
+  (* rising through 0.25 happens at t=0.833, 2.75, 4.167; v_end=0.75 is
+     crossed at ~4.72; the last start before that is 4.167, so the
+     transition time is ~0.56 -- not the ~3.9 a first-crossing rule gives *)
+  match Pwl.transition_time w ~v_start:0.25 ~v_end:0.75 with
+  | None -> Alcotest.fail "expected transition"
+  | Some tt -> Alcotest.(check (float 1e-3)) "uses last start" 0.5556 tt
+
+let test_extremum_and_maximum () =
+  let w = Pwl.of_points [ (0., 1.); (1., -2.); (2., 3.); (3., 0.) ] in
+  let t_min, v_min = Pwl.extremum w ~lo:0. ~hi:3. in
+  check_float "min value" (-2.) v_min;
+  check_float "min time" 1. t_min;
+  let t_max, v_max = Pwl.maximum w ~lo:0. ~hi:3. in
+  check_float "max value" 3. v_max;
+  check_float "max time" 2. t_max;
+  (* window that excludes the extremes *)
+  let _, v = Pwl.extremum w ~lo:1.5 ~hi:1.75 in
+  Alcotest.(check bool) "windowed min" true (v > -2. && v < 3.)
+
+let test_map_values_and_sample () =
+  let w = Pwl.ramp ~t0:0. ~width:1. ~v_from:0. ~v_to:2. in
+  let w2 = Pwl.map_values (fun v -> v *. 10.) w in
+  check_float "mapped" 10. (Pwl.value w2 0.5);
+  let s = Pwl.sample w ~times:[| 0.; 0.5; 1. |] in
+  Alcotest.(check (array (float 1e-12))) "samples" [| 0.; 1.; 2. |] s
+
+let prop_value_within_envelope =
+  QCheck.Test.make ~name:"value stays within breakpoint envelope" ~count:200
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 1)) in
+      let n = 2 + Prng.int rng ~lo:0 ~hi:8 in
+      let pts =
+        List.init n (fun i ->
+          (float_of_int i +. Prng.float rng ~lo:0. ~hi:0.5,
+           Prng.float rng ~lo:(-5.) ~hi:5.))
+      in
+      let w = Pwl.of_points pts in
+      let vmin = List.fold_left (fun a (_, v) -> Float.min a v) infinity pts in
+      let vmax =
+        List.fold_left (fun a (_, v) -> Float.max a v) neg_infinity pts
+      in
+      let ok = ref true in
+      for k = 0 to 50 do
+        let t = -1. +. (float_of_int k *. (float_of_int n +. 2.) /. 50.) in
+        let v = Pwl.value w t in
+        if v < vmin -. 1e-9 || v > vmax +. 1e-9 then ok := false
+      done;
+      !ok)
+
+let prop_crossings_sorted_and_consistent =
+  QCheck.Test.make ~name:"crossings are sorted; first/last agree" ~count:200
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 77)) in
+      let n = 3 + Prng.int rng ~lo:0 ~hi:10 in
+      let pts =
+        List.init n (fun i ->
+          (float_of_int i, Prng.float rng ~lo:(-1.) ~hi:1.))
+      in
+      let w = Pwl.of_points pts in
+      let level = Prng.float rng ~lo:(-0.8) ~hi:0.8 in
+      let cs = Pwl.crossings w level in
+      let sorted = List.sort compare cs in
+      sorted = cs
+      && (match (cs, Pwl.first_crossing w level) with
+          | [], None -> true
+          | c :: _, Some f -> Float.abs (c -. f) < 1e-12
+          | [], Some _ | _ :: _, None -> false)
+      &&
+      match (List.rev cs, Pwl.last_crossing w level) with
+      | [], None -> true
+      | c :: _, Some l -> Float.abs (c -. l) < 1e-12
+      | [], Some _ | _ :: _, None -> false)
+
+let prop_shift_invariance =
+  QCheck.Test.make ~name:"shift moves crossings rigidly" ~count:100
+    QCheck.(pair (float_range (-3.) 3.) small_int)
+    (fun (dt, seed) ->
+      let rng = Prng.create (Int64.of_int (seed + 5)) in
+      let pts =
+        List.init 6 (fun i -> (float_of_int i, Prng.float rng ~lo:(-1.) ~hi:1.))
+      in
+      let w = Pwl.of_points pts in
+      let level = 0.1 in
+      let base = Pwl.crossings w level in
+      let shifted = Pwl.crossings (Pwl.shift w dt) level in
+      List.length base = List.length shifted
+      && List.for_all2 (fun a b -> Float.abs (a +. dt -. b) < 1e-9) base shifted)
+
+let () =
+  Alcotest.run "waveform"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "rejects bad input" `Quick
+            test_construction_rejects_bad_input;
+          Alcotest.test_case "constant" `Quick test_constant;
+          Alcotest.test_case "ramp" `Quick test_ramp;
+          Alcotest.test_case "step ramp" `Quick test_step_ramp_degenerate;
+          Alcotest.test_case "shift" `Quick test_shift;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "interpolation" `Quick test_value_interpolation;
+          Alcotest.test_case "map/sample" `Quick test_map_values_and_sample;
+          QCheck_alcotest.to_alcotest prop_value_within_envelope;
+        ] );
+      ( "crossings",
+        [
+          Alcotest.test_case "rising ramp" `Quick test_crossings_rising;
+          Alcotest.test_case "triangle wave" `Quick test_crossings_multiple;
+          Alcotest.test_case "touch" `Quick test_crossing_touch_is_not_crossing;
+          Alcotest.test_case "plateau" `Quick test_crossing_plateau;
+          Alcotest.test_case "after filter" `Quick test_after_filter;
+          QCheck_alcotest.to_alcotest prop_crossings_sorted_and_consistent;
+          QCheck_alcotest.to_alcotest prop_shift_invariance;
+        ] );
+      ( "transition time",
+        [
+          Alcotest.test_case "rising" `Quick test_transition_time_rising;
+          Alcotest.test_case "falling" `Quick test_transition_time_falling;
+          Alcotest.test_case "incomplete" `Quick test_transition_time_incomplete;
+          Alcotest.test_case "last start crossing" `Quick
+            test_transition_uses_last_start_crossing;
+        ] );
+      ( "extrema",
+        [ Alcotest.test_case "min/max" `Quick test_extremum_and_maximum ] );
+    ]
