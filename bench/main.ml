@@ -14,6 +14,9 @@ module Floatx = Proxim_util.Floatx
 module Prng = Proxim_util.Prng
 module Stats = Proxim_util.Stats
 module Histogram = Proxim_util.Histogram
+module Pool = Proxim_util.Pool
+module Single = Proxim_macromodel.Single
+module Dual = Proxim_macromodel.Dual
 module Gate = Proxim_gates.Gate
 module Tech = Proxim_gates.Tech
 module Vtc = Proxim_vtc.Vtc
@@ -25,6 +28,7 @@ module Storage = Proxim_core.Storage
 module Collapse = Proxim_baseline.Collapse
 
 let quick = ref false
+let domains = ref (Pool.recommended_domains ())
 
 let ps s = s *. 1e12
 
@@ -608,6 +612,92 @@ let microbench () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Parallel characterization: serial vs domain pool on the dual-table
+   build (the workload the ROADMAP's scaling line of work cares about)   *)
+
+let parallel_bench () =
+  let c = Lazy.force ctx in
+  section
+    (Printf.sprintf
+       "Parallel characterization: 3-input NAND dual table, 1 vs %d domain(s)"
+       !domains);
+  let taus = Floatx.logspace 30e-12 4e-9 (if !quick then 8 else 12) in
+  let x_tau = Floatx.logspace 0.3 12. (if !quick then 5 else 6) in
+  let x_sep =
+    if !quick then Floatx.linspace (-2.5) 1.25 8
+    else [| -7.; -4.5; -3.; -2.; -1.25; -0.7; -0.3; 0.; 0.35; 0.7; 1.; 1.25 |]
+  in
+  let grid_runs = 2 * Array.length x_tau * Array.length x_tau * Array.length x_sep in
+  Printf.printf
+    "  workload: 2 single tables (%d transients) + 1 dual table (%d transients)\n%!"
+    (2 * Array.length taus) grid_runs;
+  let build pool =
+    let t0 = Unix.gettimeofday () in
+    let single_dom = Single.build ~taus ~pool c.nand3 c.th ~pin:0 ~edge:Measure.Fall in
+    let single_other = Single.build ~taus ~pool c.nand3 c.th ~pin:1 ~edge:Measure.Fall in
+    let dual =
+      Dual.build ~x_tau ~x_sep ~pool c.nand3 c.th ~single_dom ~single_other
+        ~other:1
+    in
+    (Unix.gettimeofday () -. t0, Single.save single_dom ^ Dual.save dual)
+  in
+  let serial_pool = Pool.create ~domains:1 in
+  let t_serial, tables_serial = build serial_pool in
+  Pool.shutdown serial_pool;
+  Printf.printf "  serial   (--domains 1): %6.2f s\n%!" t_serial;
+  let par_pool = Pool.create ~domains:!domains in
+  let t_par, tables_par = build par_pool in
+  Pool.shutdown par_pool;
+  Printf.printf "  parallel (--domains %d): %6.2f s\n%!" !domains t_par;
+  let identical = String.equal tables_serial tables_par in
+  if not identical then
+    Printf.printf "  ERROR: parallel tables differ from serial tables!\n";
+  (* cache effectiveness: replay the validation queries on a fresh oracle
+     model — first pass misses, second pass hits *)
+  let m = Models.of_oracle c.nand3 c.th in
+  let events =
+    [
+      event 0 Measure.Fall 400e-12 2.5e-9;
+      event 1 Measure.Fall 200e-12 2.55e-9;
+      event 2 Measure.Fall 800e-12 2.45e-9;
+    ]
+  in
+  for _ = 1 to 2 do
+    ignore (Proximity.evaluate m events)
+  done;
+  let stats = m.Models.cache_stats () in
+  let hit_rate =
+    let total = stats.Proxim_util.Memo_cache.hits + stats.Proxim_util.Memo_cache.misses in
+    if total = 0 then 0.
+    else float_of_int stats.Proxim_util.Memo_cache.hits /. float_of_int total
+  in
+  let speedup = if t_par > 0. then t_serial /. t_par else 1. in
+  Printf.printf
+    "  PARALLEL SUMMARY: table build %.2f s serial, %.2f s at %d domain(s) \
+     (%.2fx); tables %s; oracle cache %d hits / %d misses (%.0f%% hit rate)\n"
+    t_serial t_par !domains speedup
+    (if identical then "bit-identical" else "DIFFER")
+    stats.Proxim_util.Memo_cache.hits stats.Proxim_util.Memo_cache.misses
+    (100. *. hit_rate);
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"nand3 dual-table build (%d transients)\",\n\
+    \  \"quick\": %b,\n\
+    \  \"domains\": %d,\n\
+    \  \"serial_s\": %.3f,\n\
+    \  \"parallel_s\": %.3f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"bit_identical\": %b,\n\
+    \  \"oracle_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f }\n\
+     }\n"
+    grid_runs !quick !domains t_serial t_par speedup identical
+    stats.Proxim_util.Memo_cache.hits stats.Proxim_util.Memo_cache.misses
+    hit_rate;
+  close_out oc;
+  Printf.printf "  wrote BENCH_parallel.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -624,6 +714,7 @@ let experiments =
     ("ablation_alpha", ablation_alpha);
     ("fanin_sweep", fanin_sweep);
     ("microbench", microbench);
+    ("parallel_bench", parallel_bench);
   ]
 
 (* ablation_correction shares its output with table5_1; avoid printing it
@@ -633,14 +724,27 @@ let default_run =
 
 let () =
   let args =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a ->
-         if String.equal a "--quick" then begin
-           quick := true;
-           false
-         end
-         else true)
+    let rec parse acc = function
+      | [] -> List.rev acc
+      | "--quick" :: tl ->
+        quick := true;
+        parse acc tl
+      | [ "--domains" ] ->
+        Printf.eprintf "--domains expects an integer argument\n";
+        exit 2
+      | "--domains" :: n :: tl -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+          domains := n;
+          parse acc tl
+        | Some _ | None ->
+          Printf.eprintf "--domains expects a positive integer, got %s\n" n;
+          exit 2)
+      | a :: tl -> parse (a :: acc) tl
+    in
+    parse [] (List.tl (Array.to_list Sys.argv))
   in
+  Pool.set_default_domains !domains;
   let selected =
     match args with
     | [] -> default_run

@@ -243,9 +243,31 @@ let gate_arg =
     & pos 0 (some string) None
     & info [] ~docv:"GATE" ~doc:"Gate type: inv, nandN, norN, aoi21, oai21.")
 
+(* Shared --domains flag: configures the process-wide pool every
+   characterization path defaults to.  1 = serial (bit-identical). *)
+let domains_setup =
+  let doc =
+    "Number of domains (cores) used for parallel characterization sweeps; 1 \
+     runs everything serially with bit-identical results."
+  in
+  let arg =
+    Arg.(
+      value
+      & opt int (Proxim_util.Pool.recommended_domains ())
+      & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let setup n =
+    if n < 1 then begin
+      prerr_endline "proxim: --domains must be >= 1";
+      exit 2
+    end;
+    Proxim_util.Pool.set_default_domains n
+  in
+  Term.(const setup $ arg)
+
 let vtc_cmd =
   Cmd.v (Cmd.info "vtc" ~doc:"Print the VTC family and chosen thresholds")
-    Term.(const run_vtc $ gate_arg)
+    Term.(const (fun () g -> run_vtc g) $ domains_setup $ gate_arg)
 
 let delay_cmd =
   let pin = Arg.(value & opt string "a" & info [ "pin" ] ~docv:"PIN") in
@@ -257,7 +279,9 @@ let delay_cmd =
     Arg.(value & opt (some float) None & info [ "load" ] ~docv:"FF" ~doc:"output load, fF")
   in
   Cmd.v (Cmd.info "delay" ~doc:"Single-input delay on the golden simulator")
-    Term.(const run_delay $ gate_arg $ pin $ edge $ tau $ load)
+    Term.(
+      const (fun () g p e t l -> run_delay g p e t l)
+      $ domains_setup $ gate_arg $ pin $ edge $ tau $ load)
 
 let proximity_cmd =
   let events =
@@ -272,7 +296,9 @@ let proximity_cmd =
   Cmd.v
     (Cmd.info "proximity"
        ~doc:"Run ProximityDelay on a set of input events and compare with the golden simulator")
-    Term.(const run_proximity $ gate_arg $ events $ baselines)
+    Term.(
+      const (fun () g ev b -> run_proximity g ev b)
+      $ domains_setup $ gate_arg $ events $ baselines)
 
 let glitch_cmd =
   let fall_pin = Arg.(value & opt string "a" & info [ "fall-pin" ]) in
@@ -285,7 +311,8 @@ let glitch_cmd =
   in
   Cmd.v (Cmd.info "glitch" ~doc:"Opposite-transition glitch analysis (paper section 6)")
     Term.(
-      const run_glitch $ gate_arg $ fall_pin $ rise_pin $ tau_fall $ tau_rise
+      const (fun () g fp rp tf tr s m -> run_glitch g fp rp tf tr s m)
+      $ domains_setup $ gate_arg $ fall_pin $ rise_pin $ tau_fall $ tau_rise
       $ sep $ find_min)
 
 let storage_cmd =

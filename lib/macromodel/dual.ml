@@ -62,8 +62,11 @@ let clamp_to_dominance ~assist ~single_other ~tau_other sep =
     let boundary = d1 -. d_other in
     if assist then Float.max sep boundary else Float.min sep boundary
 
-let build ?(x_tau = default_x_tau) ?(x_sep = default_x_sep) ?opts gate th
+let build ?(x_tau = default_x_tau) ?(x_sep = default_x_sep) ?opts ?pool gate th
     ~single_dom ~single_other ~other =
+  let pool =
+    match pool with Some p -> p | None -> Proxim_util.Pool.default ()
+  in
   let dom = Single.pin single_dom in
   let edge = Single.edge single_dom in
   if dom = other then invalid_arg "Dual.build: dom = other";
@@ -118,8 +121,10 @@ let build ?(x_tau = default_x_tau) ?(x_sep = default_x_sep) ?opts gate th
     other;
     edge;
     assist;
-    delay_grid = Interp.grid3_make ~xs:ln_tau ~ys:ln_tau ~zs:x_sep ~f:delay_f;
-    trans_grid = Interp.grid3_make ~xs:ln_tau ~ys:ln_tau ~zs:x_sep ~f:trans_f;
+    delay_grid =
+      Interp.grid3_make ~pool ~xs:ln_tau ~ys:ln_tau ~zs:x_sep ~f:delay_f ();
+    trans_grid =
+      Interp.grid3_make ~pool ~xs:ln_tau ~ys:ln_tau ~zs:x_sep ~f:trans_f ();
   }
 
 (* --- serialization ------------------------------------------------- *)

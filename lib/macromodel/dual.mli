@@ -55,6 +55,7 @@ val build :
   ?x_tau:float array ->
   ?x_sep:float array ->
   ?opts:Proxim_spice.Options.t ->
+  ?pool:Proxim_util.Pool.t ->
   Proxim_gates.Gate.t ->
   Proxim_vtc.Vtc.thresholds ->
   single_dom:Single.t ->
@@ -66,7 +67,8 @@ val build :
     points over 0.25..16); [x_sep] the normalized-separation axis
     (default: 12 points over -3..1.5).  The dominant pin and edge come
     from [single_dom].  Each grid point triggers one transient analysis;
-    a full table costs [2 * |x_tau|^2 * |x_sep|] runs. *)
+    a full table costs [2 * |x_tau|^2 * |x_sep|] runs — with [pool] they
+    are fanned out across the pool's domains (bit-identical result). *)
 
 val delay :
   t ->

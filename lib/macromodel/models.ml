@@ -1,9 +1,11 @@
 module Gate = Proxim_gates.Gate
 module Measure = Proxim_measure.Measure
+module Memo_cache = Proxim_util.Memo_cache
 
 type t = {
   fan_in : int;
   name : string;
+  cache_stats : unit -> Memo_cache.stats;
   assist : edge:Measure.edge -> pins:int list -> bool;
   delay1 : pin:int -> edge:Measure.edge -> tau:float -> float;
   trans1 : pin:int -> edge:Measure.edge -> tau:float -> float;
@@ -25,29 +27,35 @@ type t = {
     float;
 }
 
-let memo tbl key f =
-  match Hashtbl.find_opt tbl key with
-  | Some v -> v
-  | None ->
-    let v = f () in
-    Hashtbl.add tbl key v;
-    v
+let merge_stats (a : Memo_cache.stats) (b : Memo_cache.stats) =
+  {
+    Memo_cache.hits = a.Memo_cache.hits + b.Memo_cache.hits;
+    misses = a.Memo_cache.misses + b.Memo_cache.misses;
+    entries = a.Memo_cache.entries + b.Memo_cache.entries;
+  }
 
 let of_oracle ?opts ?load gate th =
-  let single_cache = Hashtbl.create 64 in
-  let dual_cache = Hashtbl.create 256 in
+  let single_cache = Memo_cache.create () in
+  let dual_cache = Memo_cache.create () in
   let single ~pin ~edge ~tau =
-    memo single_cache (pin, edge, tau) (fun () ->
+    Memo_cache.find_or_compute single_cache (pin, edge, tau) (fun () ->
       Measure.single_input ?opts ?load gate th ~pin ~edge ~tau)
   in
   let dual ~dom ~other ~edge ~tau_dom ~tau_other ~sep =
-    memo dual_cache (dom, other, edge, tau_dom, tau_other, sep) (fun () ->
-      Dual.oracle ?opts ?load gate th ~dom ~other ~edge ~tau_dom ~tau_other
-        ~sep)
+    Memo_cache.find_or_compute dual_cache
+      (dom, other, edge, tau_dom, tau_other, sep)
+      (fun () ->
+        Dual.oracle ?opts ?load gate th ~dom ~other ~edge ~tau_dom ~tau_other
+          ~sep)
   in
   {
     fan_in = gate.Gate.fan_in;
     name = "oracle:" ^ gate.Gate.name;
+    cache_stats =
+      (fun () ->
+        merge_stats
+          (Memo_cache.stats single_cache)
+          (Memo_cache.stats dual_cache));
     assist =
       (fun ~edge ~pins ->
         Gate.switching_assist gate ~pins
@@ -64,24 +72,28 @@ let of_oracle ?opts ?load gate th =
           .Measure.out_transition);
   }
 
-let of_tables ?opts ?taus ?x_tau ?x_sep ?(share_others = false) gate th =
-  let singles = Hashtbl.create 8 in
-  let duals = Hashtbl.create 16 in
+let of_tables ?opts ?taus ?x_tau ?x_sep ?(share_others = false) ?pool gate th =
+  let singles = Memo_cache.create ~shards:4 () in
+  let duals = Memo_cache.create ~shards:4 () in
   let single ~pin ~edge =
-    memo singles (pin, edge) (fun () ->
-      Single.build ?taus ?opts gate th ~pin ~edge)
+    Memo_cache.find_or_compute singles (pin, edge) (fun () ->
+      Single.build ?taus ?opts ?pool gate th ~pin ~edge)
   in
   let dual ~dom ~other ~edge =
     (* with sharing, one representative other pin per dominant pin *)
     let other = if share_others then (if dom = 0 then 1 else 0) else other in
-    memo duals (dom, other, edge) (fun () ->
+    Memo_cache.find_or_compute duals (dom, other, edge) (fun () ->
       let single_dom = single ~pin:dom ~edge in
       let single_other = single ~pin:other ~edge in
-      Dual.build ?x_tau ?x_sep ?opts gate th ~single_dom ~single_other ~other)
+      Dual.build ?x_tau ?x_sep ?opts ?pool gate th ~single_dom ~single_other
+        ~other)
   in
   {
     fan_in = gate.Gate.fan_in;
     name = "tables:" ^ gate.Gate.name;
+    cache_stats =
+      (fun () ->
+        merge_stats (Memo_cache.stats singles) (Memo_cache.stats duals));
     assist =
       (fun ~edge ~pins ->
         Gate.switching_assist gate ~pins

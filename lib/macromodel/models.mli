@@ -9,6 +9,11 @@
 type t = {
   fan_in : int;
   name : string;
+  cache_stats : unit -> Proxim_util.Memo_cache.stats;
+      (** hit/miss/entry counters of the model's internal memoization
+          (merged over the single- and dual-input caches).  [hits] counts
+          queries answered without a new golden-simulator run — including
+          waits on a computation already in flight on another domain. *)
   assist : edge:Proxim_measure.Measure.edge -> pins:int list -> bool;
       (** do the switching transistors of [pins] assist each other in the
           driving network for this input edge (see
@@ -47,7 +52,10 @@ val of_oracle :
   Proxim_vtc.Vtc.thresholds ->
   t
 (** Every query runs a transient analysis (memoized on the exact query).
-    This mirrors the paper's use of HSPICE as the dual-input macromodel. *)
+    This mirrors the paper's use of HSPICE as the dual-input macromodel.
+    The memo cache is domain-safe and sharded: concurrent queries from a
+    {!Proxim_util.Pool} job never race, and two domains asking for the
+    same query run a single transient (the second waits). *)
 
 val of_tables :
   ?opts:Proxim_spice.Options.t ->
@@ -55,13 +63,17 @@ val of_tables :
   ?x_tau:float array ->
   ?x_sep:float array ->
   ?share_others:bool ->
+  ?pool:Proxim_util.Pool.t ->
   Proxim_gates.Gate.t ->
   Proxim_vtc.Vtc.thresholds ->
   t
 (** Queries are answered from {!Single} / {!Dual} tables, built lazily on
     first use of each (pin, edge) / (dom, other, edge) combination and
-    memoized.  Building a dual table is expensive (hundreds of transient
-    runs); once built, queries are microseconds.
+    memoized (domain-safely: a table being built by one domain is awaited
+    by, not duplicated on, the others).  Building a dual table is
+    expensive (hundreds of transient runs); with [pool] those runs are
+    spread across the pool's domains, and the table is bit-identical to
+    a serial build.  Once built, queries are microseconds.
 
     [share_others] (default false) implements the paper's Figure 4-2
     observation that [n] dual-input macromodels suffice in practice: one

@@ -27,19 +27,20 @@ let strength gate ~edge =
 
 let default_taus = Floatx.logspace 20e-12 5e-9 16
 
-let build ?(taus = default_taus) ?opts gate th ~pin ~edge =
+let build ?(taus = default_taus) ?opts ?pool gate th ~pin ~edge =
   let k = strength gate ~edge in
   let vdd = gate.Gate.tech.Tech.vdd in
   let c_build = gate.Gate.load in
   let c_parasitic = Gate.output_parasitic gate in
-  let samples =
-    Array.map
-      (fun tau ->
-        let obs = Measure.single_input ?opts gate th ~pin ~edge ~tau in
-        let u = (c_build +. c_parasitic) /. (k *. vdd *. tau) in
-        (log u, obs.Measure.delay /. tau, obs.Measure.out_transition /. tau))
-      taus
+  let sample tau =
+    let obs = Measure.single_input ?opts gate th ~pin ~edge ~tau in
+    let u = (c_build +. c_parasitic) /. (k *. vdd *. tau) in
+    (log u, obs.Measure.delay /. tau, obs.Measure.out_transition /. tau)
   in
+  let pool =
+    match pool with Some p -> p | None -> Proxim_util.Pool.default ()
+  in
+  let samples = Proxim_util.Pool.map pool sample taus in
   (* sort by the dimensionless argument (tau descending -> u ascending) *)
   Array.sort (fun (a, _, _) (b, _, _) -> compare a b) samples;
   let xs = Array.map (fun (x, _, _) -> x) samples in

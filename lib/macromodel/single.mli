@@ -20,6 +20,7 @@ val edge : t -> Proxim_measure.Measure.edge
 val build :
   ?taus:float array ->
   ?opts:Proxim_spice.Options.t ->
+  ?pool:Proxim_util.Pool.t ->
   Proxim_gates.Gate.t ->
   Proxim_vtc.Vtc.thresholds ->
   pin:int ->
@@ -27,7 +28,9 @@ val build :
   t
 (** Sweep [taus] (default: 16 log-spaced points over 20 ps..5 ns) at the
     gate's default load and tabulate the two normalized ratios against the
-    dimensionless argument, with monotone (PCHIP) interpolation. *)
+    dimensionless argument, with monotone (PCHIP) interpolation.  With
+    [pool], the sweep's transient analyses run across the pool's domains;
+    the table is bit-identical to a serial build. *)
 
 val delay : ?c_load:float -> t -> tau:float -> float
 (** Predicted [Delta^(1)] for an input of transition time [tau].

@@ -12,14 +12,22 @@ type set = {
 }
 
 let characterize ?opts ?taus ?x_tau ?x_sep
-    ?(edges = [ Measure.Rise; Measure.Fall ]) ?(with_duals = true) gate th =
+    ?(edges = [ Measure.Rise; Measure.Fall ]) ?(with_duals = true) ?pool gate
+    th =
   let fan_in = gate.Gate.fan_in in
   let pins = List.init fan_in Fun.id in
+  let pool =
+    match pool with Some p -> p | None -> Proxim_util.Pool.default ()
+  in
+  (* parallelize across tables (coarse); each build then runs serially on
+     its domain because nested pool use degrades to a plain loop *)
+  let pmap f l = Proxim_util.Pool.map_list pool f l in
   let singles =
-    List.concat_map
-      (fun edge ->
-        List.map (fun pin -> Single.build ?taus ?opts gate th ~pin ~edge) pins)
-      edges
+    pmap
+      (fun (pin, edge) -> Single.build ?taus ?opts ~pool gate th ~pin ~edge)
+      (List.concat_map
+         (fun edge -> List.map (fun pin -> (pin, edge)) pins)
+         edges)
   in
   let find_single pin edge =
     List.find (fun s -> Single.pin s = pin && Single.edge s = edge) singles
@@ -27,21 +35,21 @@ let characterize ?opts ?taus ?x_tau ?x_sep
   let duals =
     if not with_duals then []
     else
-      List.concat_map
-        (fun edge ->
-          List.concat_map
-            (fun dom ->
-              List.filter_map
-                (fun other ->
-                  if other = dom then None
-                  else
-                    Some
-                      (Dual.build ?x_tau ?x_sep ?opts gate th
-                         ~single_dom:(find_single dom edge)
-                         ~single_other:(find_single other edge) ~other))
-                pins)
-            pins)
-        edges
+      pmap
+        (fun (dom, other, edge) ->
+          Dual.build ?x_tau ?x_sep ?opts ~pool gate th
+            ~single_dom:(find_single dom edge)
+            ~single_other:(find_single other edge) ~other)
+        (List.concat_map
+           (fun edge ->
+             List.concat_map
+               (fun dom ->
+                 List.filter_map
+                   (fun other ->
+                     if other = dom then None else Some (dom, other, edge))
+                   pins)
+               pins)
+           edges)
   in
   {
     gate_name = gate.Gate.name;
@@ -64,6 +72,8 @@ let to_models gate set =
   {
     Models.fan_in;
     name = "store:" ^ set.gate_name;
+    cache_stats =
+      (fun () -> { Proxim_util.Memo_cache.hits = 0; misses = 0; entries = 0 });
     assist =
       (fun ~edge ~pins ->
         Gate.switching_assist gate ~pins

@@ -26,6 +26,7 @@ val characterize :
   ?x_sep:float array ->
   ?edges:Proxim_measure.Measure.edge list ->
   ?with_duals:bool ->
+  ?pool:Proxim_util.Pool.t ->
   Proxim_gates.Gate.t ->
   Proxim_vtc.Vtc.thresholds ->
   set
@@ -33,7 +34,9 @@ val characterize :
     (pin, edge) and — when [with_duals] (default true) — one dual-input
     model per (dominant pin, other pin, edge).  [edges] defaults to both
     directions.  This is the expensive call (minutes for a 3-input gate
-    with duals; seconds without). *)
+    with duals; seconds without).  With [pool] the independent tables are
+    characterized across the pool's domains; the resulting set is
+    bit-identical to a serial run. *)
 
 val to_models : Proxim_gates.Gate.t -> set -> Models.t
 (** Wrap the set as the model interface the core algorithm consumes; the

@@ -2,6 +2,8 @@ module Gate = Proxim_gates.Gate
 module Measure = Proxim_measure.Measure
 module Models = Proxim_macromodel.Models
 module Proximity = Proxim_core.Proximity
+module Pool = Proxim_util.Pool
+module Memo_cache = Proxim_util.Memo_cache
 
 type arrival = { time : float; slew : float; edge : Measure.edge }
 
@@ -41,7 +43,39 @@ let propagate_proximity (models : Models.t) events =
     r.Proximity.out_transition,
     r.Proximity.ref_pin )
 
-let analyze ?(mode = Proximity) ~models ~thresholds design ~pi =
+(* Topological levels: every cell's inputs are driven by strictly lower
+   levels, so the cells of one level can be timed concurrently once the
+   previous levels have been applied.  Within a level the original
+   topological order is kept, which makes the report deterministic. *)
+let levelize design =
+  let cell_level = Hashtbl.create 32 in  (* output net -> level *)
+  let level_of cell =
+    Array.fold_left
+      (fun acc net ->
+        match Hashtbl.find_opt cell_level net with
+        | Some l -> max acc (l + 1)
+        | None -> acc  (* primary input: level 0 *))
+      0 cell.Design.input_nets
+  in
+  let rec group current current_level acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | (cell, l) :: tl ->
+      if l = current_level then group (cell :: current) current_level acc tl
+      else group [ cell ] l (List.rev current :: acc) tl
+  in
+  let leveled =
+    List.map
+      (fun cell ->
+        let l = level_of cell in
+        Hashtbl.replace cell_level cell.Design.output_net l;
+        (cell, l))
+      (Design.topological design)
+  in
+  match leveled with
+  | [] -> []
+  | (_, l0) :: _ -> group [] l0 [] leveled |> List.filter (( <> ) [])
+
+let analyze ?(mode = Proximity) ?pool ~models ~thresholds design ~pi =
   (* macromodels consume full-swing ramp widths; measured output
      transitions span Vil..Vih only, so scale them up when they become the
      next stage's input slew *)
@@ -53,7 +87,11 @@ let analyze ?(mode = Proximity) ~models ~thresholds design ~pi =
   List.iter (fun (net, a) -> Hashtbl.replace net_arrival net a) pi;
   let order = ref [] in
   let preds = ref [] in
-  let process cell =
+  (* Time one cell from the already-applied arrivals.  Pure with respect
+     to [net_arrival] (read-only), so the cells of one topological level
+     can be computed concurrently; their model queries go through the
+     domain-safe memo caches of the factory. *)
+  let compute cell =
     let events =
       Array.to_list cell.Design.input_nets
       |> List.mapi (fun pin net ->
@@ -70,7 +108,7 @@ let analyze ?(mode = Proximity) ~models ~thresholds design ~pi =
       |> List.filter_map Fun.id
     in
     match events with
-    | [] -> ()  (* fully quiet cell *)
+    | [] -> None  (* fully quiet cell *)
     | ((first : Proximity.event), _) :: rest ->
       if
         List.exists
@@ -92,8 +130,6 @@ let analyze ?(mode = Proximity) ~models ~thresholds design ~pi =
       let out =
         { time; slew = slew *. slew_scale; edge = Measure.opposite edge }
       in
-      Hashtbl.replace net_arrival cell.Design.output_net out;
-      order := (cell.Design.output_net, out) :: !order;
       let pred_net =
         match
           List.find_opt
@@ -103,9 +139,25 @@ let analyze ?(mode = Proximity) ~models ~thresholds design ~pi =
         | Some (_, net) -> net
         | None -> assert false
       in
+      Some (out, pred_net)
+  in
+  let apply cell = function
+    | None -> ()
+    | Some (out, pred_net) ->
+      Hashtbl.replace net_arrival cell.Design.output_net out;
+      order := (cell.Design.output_net, out) :: !order;
       preds := (cell.Design.output_net, pred_net) :: !preds
   in
-  List.iter process (Design.topological design);
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  List.iter
+    (fun level ->
+      let cells = Array.of_list level in
+      let results =
+        if Array.length cells = 1 then Array.map compute cells
+        else Pool.map pool compute cells
+      in
+      Array.iteri (fun i r -> apply cells.(i) r) results)
+    (levelize design);
   let arrivals = pi @ List.rev !order in
   let critical_po =
     List.fold_left
@@ -141,15 +193,25 @@ let po_slacks design report ~required =
   |> List.sort (fun (_, a) (_, b) -> compare a b)
 
 let oracle_model_factory ?opts ?wire_cap design th =
-  let cache = Hashtbl.create 16 in
+  let cache = Memo_cache.create ~shards:4 () in
   fun (cell : Design.cell) ->
     let load = Design.fanout_load ?wire_cap design ~net:cell.Design.output_net in
     (* bucket the load at 1 fF so structurally identical cells share models *)
     let bucket = int_of_float ((load *. 1e15) +. 0.5) in
     let key = (cell.Design.gate.Gate.name, bucket) in
-    match Hashtbl.find_opt cache key with
-    | Some m -> m
-    | None ->
-      let m = Models.of_oracle ?opts ~load cell.Design.gate th in
-      Hashtbl.add cache key m;
-      m
+    Memo_cache.find_or_compute cache key (fun () ->
+      Models.of_oracle ?opts ~load cell.Design.gate th)
+
+let table_model_factory ?opts ?wire_cap ?taus ?x_tau ?x_sep ?share_others
+    ?pool design th =
+  let cache = Memo_cache.create ~shards:4 () in
+  fun (cell : Design.cell) ->
+    let load = Design.fanout_load ?wire_cap design ~net:cell.Design.output_net in
+    let bucket = int_of_float ((load *. 1e15) +. 0.5) in
+    let key = (cell.Design.gate.Gate.name, bucket) in
+    Memo_cache.find_or_compute cache key (fun () ->
+      (* rebuild the tables at the cell's actual fanout load: the
+         normalized single-input argument folds the load in, so the
+         bucketed load only sets the table's build point *)
+      let gate = { cell.Design.gate with Gate.load } in
+      Models.of_tables ?opts ?taus ?x_tau ?x_sep ?share_others ?pool gate th)

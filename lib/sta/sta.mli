@@ -53,6 +53,7 @@ val po_slacks :
 
 val analyze :
   ?mode:mode ->
+  ?pool:Proxim_util.Pool.t ->
   models:(Design.cell -> Proxim_macromodel.Models.t) ->
   thresholds:Proxim_vtc.Vtc.thresholds ->
   Design.t ->
@@ -63,7 +64,13 @@ val analyze :
     levels.  Raises [Failure] if the switching inputs of one cell arrive
     with inconsistent edges (a single-vector analysis cannot order a
     glitch) or if a switching cell input would need a non-inverting
-    path. *)
+    path.
+
+    Cells on the same topological level are timed concurrently on [pool]
+    (default: {!Proxim_util.Pool.default}); the report is bit-identical
+    to a serial analysis whatever the pool width.  [models] must then be
+    safe to call from several domains at once — the factories below are;
+    a hand-rolled factory memoizing through a plain [Hashtbl] is not. *)
 
 val oracle_model_factory :
   ?opts:Proxim_spice.Options.t ->
@@ -73,5 +80,24 @@ val oracle_model_factory :
   Design.cell ->
   Proxim_macromodel.Models.t
 (** A [models] function backed by the golden simulator: each cell gets
-    oracle models built at its actual fanout load (memoized per gate
-    type and load bucket). *)
+    oracle models built at its actual fanout load (memoized domain-safely
+    per gate type and load bucket). *)
+
+val table_model_factory :
+  ?opts:Proxim_spice.Options.t ->
+  ?wire_cap:float ->
+  ?taus:float array ->
+  ?x_tau:float array ->
+  ?x_sep:float array ->
+  ?share_others:bool ->
+  ?pool:Proxim_util.Pool.t ->
+  Design.t ->
+  Proxim_vtc.Vtc.thresholds ->
+  Design.cell ->
+  Proxim_macromodel.Models.t
+(** A [models] function backed by tabulated macromodels: each distinct
+    (gate type, 1 fF load bucket) pair gets {!Proxim_macromodel.Models.of_tables}
+    models characterized at the cell's fanout load, built lazily on first
+    query and shared domain-safely across cells.  [pool] parallelizes the
+    table construction sweeps; the remaining options are forwarded to the
+    table builders. *)

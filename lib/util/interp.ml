@@ -103,13 +103,24 @@ type grid3 = {
   values : float array array array;
 }
 
-let grid3_make ~xs ~ys ~zs ~f =
+let grid3_make ?pool ~xs ~ys ~zs ~f () =
   check_axis xs;
   check_axis ys;
   check_axis zs;
-  let values =
-    Array.map (fun x -> Array.map (fun y -> Array.map (f x y) zs) ys) xs
+  let nx = Array.length xs and ny = Array.length ys in
+  (* one task per (x, y) row: coarse enough to amortize scheduling, fine
+     enough to load-balance transient analyses of uneven cost *)
+  let row idx =
+    let x = xs.(idx / ny) and y = ys.(idx mod ny) in
+    Array.map (f x y) zs
   in
+  let indices = Array.init (nx * ny) Fun.id in
+  let rows =
+    match pool with
+    | None -> Array.map row indices
+    | Some pool -> Pool.map pool row indices
+  in
+  let values = Array.init nx (fun i -> Array.sub rows (i * ny) ny) in
   { xs; ys; zs; values }
 
 let trilinear g x y z =

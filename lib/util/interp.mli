@@ -49,12 +49,17 @@ type grid3 = {
 (** A rectilinear 3-D table. *)
 
 val grid3_make :
+  ?pool:Pool.t ->
   xs:float array ->
   ys:float array ->
   zs:float array ->
   f:(float -> float -> float -> float) ->
+  unit ->
   grid3
-(** Tabulate [f] on the grid. *)
+(** Tabulate [f] on the grid.  With [pool], the grid's (x, y) rows are
+    evaluated across the pool's domains; [f] must be safe to call from
+    several domains at once.  The result is bit-identical to the serial
+    evaluation whatever the pool width. *)
 
 val trilinear : grid3 -> float -> float -> float -> float
 (** [trilinear g x y z] is trilinear interpolation with clamping to the

@@ -1,0 +1,96 @@
+type 'v entry = Done of 'v | Pending
+
+type ('k, 'v) shard = {
+  mutex : Mutex.t;
+  cond : Condition.t;  (** signalled when a [Pending] entry resolves *)
+  tbl : ('k, 'v entry) Hashtbl.t;
+}
+
+type ('k, 'v) t = {
+  shards : ('k, 'v) shard array;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?(shards = 16) () =
+  let shards = max 1 shards in
+  {
+    shards =
+      Array.init shards (fun _ ->
+        {
+          mutex = Mutex.create ();
+          cond = Condition.create ();
+          tbl = Hashtbl.create 32;
+        });
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let shard_of t key =
+  t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let find_or_compute t key f =
+  let shard = shard_of t key in
+  Mutex.lock shard.mutex;
+  let rec acquire () =
+    match Hashtbl.find_opt shard.tbl key with
+    | Some (Done v) ->
+      Mutex.unlock shard.mutex;
+      Atomic.incr t.hits;
+      v
+    | Some Pending ->
+      Condition.wait shard.cond shard.mutex;
+      acquire ()
+    | None ->
+      Hashtbl.replace shard.tbl key Pending;
+      Mutex.unlock shard.mutex;
+      Atomic.incr t.misses;
+      let result =
+        try Ok (f ())
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock shard.mutex;
+      (match result with
+       | Ok v -> Hashtbl.replace shard.tbl key (Done v)
+       | Error _ -> Hashtbl.remove shard.tbl key);
+      Condition.broadcast shard.cond;
+      Mutex.unlock shard.mutex;
+      (match result with
+       | Ok v -> v
+       | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+  in
+  acquire ()
+
+let mem t key =
+  let shard = shard_of t key in
+  Mutex.lock shard.mutex;
+  let found =
+    match Hashtbl.find_opt shard.tbl key with
+    | Some (Done _) -> true
+    | Some Pending | None -> false
+  in
+  Mutex.unlock shard.mutex;
+  found
+
+let length t =
+  Array.fold_left
+    (fun acc shard ->
+      Mutex.lock shard.mutex;
+      let n =
+        Hashtbl.fold
+          (fun _ entry acc ->
+            match entry with Done _ -> acc + 1 | Pending -> acc)
+          shard.tbl 0
+      in
+      Mutex.unlock shard.mutex;
+      acc + n)
+    0 t.shards
+
+type stats = { hits : int; misses : int; entries : int }
+
+let stats (t : _ t) =
+  { hits = Atomic.get t.hits; misses = Atomic.get t.misses; entries = length t }
+
+let reset_stats (t : _ t) =
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0

@@ -1,0 +1,48 @@
+(** A domain-safe sharded memoization cache.
+
+    Keys are spread over [N] independent {!Hashtbl} shards, each guarded
+    by its own mutex, so concurrent lookups from a {!Pool} job mostly
+    touch different locks.  A computation in flight is visible to other
+    domains as a [Pending] entry: a second request for the same key
+    blocks on the shard's condition variable instead of duplicating the
+    work — exactly one transient analysis ever runs per distinct query.
+
+    If the computing domain raises, the pending entry is removed, all
+    waiters retry (and typically re-raise from their own attempt), and
+    the exception propagates to every caller.
+
+    The computation must not re-enter the cache with the same key from
+    the same domain — that would self-deadlock on the pending entry. *)
+
+type ('k, 'v) t
+
+val create : ?shards:int -> unit -> ('k, 'v) t
+(** [create ()] makes an empty cache with [shards] shards (default 16;
+    clamped to at least 1).  Keys use polymorphic [Hashtbl.hash] and
+    structural equality, like the plain [Hashtbl] memoization this
+    replaces. *)
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_compute cache key f] returns the cached value for [key],
+    waiting out another domain's in-flight computation if there is one,
+    or runs [f ()] and caches its result. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** [mem cache key] is true iff a completed value for [key] is cached.
+    Does not block on pending computations and does not touch the
+    hit/miss counters. *)
+
+val length : ('k, 'v) t -> int
+(** Number of completed entries across all shards. *)
+
+type stats = {
+  hits : int;  (** queries answered from the cache, including waits on
+                   another domain's in-flight computation *)
+  misses : int;  (** computations actually started *)
+  entries : int;  (** completed entries currently stored *)
+}
+
+val stats : ('k, 'v) t -> stats
+
+val reset_stats : ('k, 'v) t -> unit
+(** Zero the hit/miss counters ([entries] is unaffected). *)

@@ -1,0 +1,213 @@
+(* A worker is either executing a job's indices or parked on [work_cv]
+   waiting for [generation] to advance.  One job runs at a time
+   ([submit_m]); the submitting domain executes indices alongside the
+   workers, then parks on [done_cv] until the last index completes. *)
+
+type job = {
+  fn : int -> unit;
+  total : int;
+  next : int Atomic.t;  (** next index to claim *)
+  completed : int Atomic.t;
+  mutable failed : (exn * Printexc.raw_backtrace) option;
+      (** first failure; protected by the pool mutex *)
+}
+
+type t = {
+  width : int;
+  mutex : Mutex.t;
+  work_cv : Condition.t;
+  done_cv : Condition.t;
+  submit_m : Mutex.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set while a domain is executing job indices: inner parallel calls
+   from such a domain run serially instead of re-entering a pool. *)
+let busy_key = Domain.DLS.new_key (fun () -> ref false)
+
+let busy () = !(Domain.DLS.get busy_key)
+
+let run_serially f =
+  let flag = Domain.DLS.get busy_key in
+  let saved = !flag in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := saved) f
+
+let domains t = t.width
+
+let execute pool job =
+  let flag = Domain.DLS.get busy_key in
+  let saved = !flag in
+  flag := true;
+  let rec claim () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.total then begin
+      (match job.failed with
+       | Some _ -> ()  (* drain without working once something failed *)
+       | None -> (
+         try job.fn i
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.lock pool.mutex;
+           if job.failed = None then job.failed <- Some (e, bt);
+           Mutex.unlock pool.mutex));
+      let done_before = Atomic.fetch_and_add job.completed 1 in
+      if done_before + 1 = job.total then begin
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.done_cv;
+        Mutex.unlock pool.mutex
+      end;
+      claim ()
+    end
+  in
+  claim ();
+  flag := saved
+
+let worker_loop pool =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while pool.generation = !seen && not pool.stop do
+      Condition.wait pool.work_cv pool.mutex
+    done;
+    if pool.stop then Mutex.unlock pool.mutex
+    else begin
+      seen := pool.generation;
+      let job = pool.job in
+      Mutex.unlock pool.mutex;
+      (match job with Some j -> execute pool j | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains:width =
+  if width < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      width;
+      mutex = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      submit_m = Mutex.create ();
+      job = None;
+      generation = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.workers <- [];
+  pool.stop <- true;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+let serial_for ~n f =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let parallel_for pool ~n f =
+  if n <= 0 then ()
+  else if pool.width = 1 || n = 1 || busy () || pool.stop then serial_for ~n f
+  else begin
+    Mutex.lock pool.submit_m;
+    let job =
+      {
+        fn = f;
+        total = n;
+        next = Atomic.make 0;
+        completed = Atomic.make 0;
+        failed = None;
+      }
+    in
+    Mutex.lock pool.mutex;
+    pool.job <- Some job;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work_cv;
+    Mutex.unlock pool.mutex;
+    execute pool job;
+    Mutex.lock pool.mutex;
+    while Atomic.get job.completed < job.total do
+      Condition.wait pool.done_cv pool.mutex
+    done;
+    pool.job <- None;
+    Mutex.unlock pool.mutex;
+    Mutex.unlock pool.submit_m;
+    match job.failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let map pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for pool ~n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map
+      (function Some v -> v | None -> assert false (* every slot filled *))
+      out
+  end
+
+let map_list pool f l = Array.to_list (map pool f (Array.of_list l))
+
+(* --- default pool -------------------------------------------------- *)
+
+let recommended_domains () = Domain.recommended_domain_count ()
+
+let default_m = Mutex.create ()
+let default_pool = ref None
+let default_width = ref None
+let at_exit_installed = ref false
+
+let default () =
+  Mutex.lock default_m;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let width =
+        match !default_width with
+        | Some w -> w
+        | None -> recommended_domains ()
+      in
+      let p = create ~domains:width in
+      default_pool := Some p;
+      if not !at_exit_installed then begin
+        at_exit_installed := true;
+        at_exit (fun () ->
+          Mutex.lock default_m;
+          let p = !default_pool in
+          default_pool := None;
+          Mutex.unlock default_m;
+          Option.iter shutdown p)
+      end;
+      p
+  in
+  Mutex.unlock default_m;
+  pool
+
+let set_default_domains width =
+  if width < 1 then invalid_arg "Pool.set_default_domains: domains must be >= 1";
+  Mutex.lock default_m;
+  let previous =
+    match !default_pool with
+    | Some p when p.width <> width ->
+      default_pool := None;
+      Some p
+    | _ -> None
+  in
+  default_width := Some width;
+  Mutex.unlock default_m;
+  Option.iter shutdown previous

@@ -1,0 +1,75 @@
+(** A fixed-size domain pool for data-parallel characterization sweeps.
+
+    Built on stdlib [Domain] + [Mutex]/[Condition] only (no external
+    dependencies).  The pool owns [domains - 1] worker domains; the
+    submitting domain participates in every job, so [create ~domains:n]
+    gives [n]-way parallelism.  Jobs are dynamic: workers pull indices
+    one at a time from a shared counter, which load-balances the wildly
+    varying cost of individual transient analyses.
+
+    Determinism: every index [i] writes only its own result slot, so
+    {!map} and {!parallel_for} produce results that are bit-identical to
+    a serial loop regardless of the number of domains or the scheduling
+    order.  [create ~domains:1] never spawns a domain and degrades to a
+    plain loop.
+
+    Nesting is safe: a task that itself calls {!map} or {!parallel_for}
+    (on any pool) runs the inner job serially on its own domain instead
+    of deadlocking on the pool it is already occupying.  This lets
+    coarse-grained parallelism (one task per table) compose with
+    fine-grained parallelism (one task per grid point) without
+    oversubscription. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains:n] spawns [n - 1] worker domains.  Raises
+    [Invalid_argument] if [n < 1].  [n = 1] is the serial pool: no
+    domains are spawned and every job runs inline. *)
+
+val domains : t -> int
+(** The parallelism width the pool was created with. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Jobs submitted after
+    shutdown run serially on the calling domain. *)
+
+val parallel_for : t -> n:int -> (int -> unit) -> unit
+(** [parallel_for pool ~n f] runs [f 0 .. f (n-1)], distributing indices
+    across the pool's domains.  Blocks until every index has completed.
+    If any [f i] raises, the first exception (by completion order) is
+    re-raised in the caller after the job drains; remaining indices are
+    abandoned. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f arr] is [Array.map f arr] with the elements evaluated
+    across the pool's domains.  Result order matches input order.
+    Exceptions propagate as in {!parallel_for}. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)
+
+val run_serially : (unit -> 'a) -> 'a
+(** [run_serially f] runs [f] with pool parallelism disabled on the
+    current domain: any {!map}/{!parallel_for} reached from inside [f]
+    degrades to a plain loop.  Used by the [--domains 1] fallbacks and
+    by determinism tests. *)
+
+(** {1 The process-wide default pool}
+
+    Library entry points take [?pool] arguments defaulting to this pool,
+    so a single [--domains N] flag at the CLI/bench level configures the
+    whole characterization stack. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val set_default_domains : int -> unit
+(** Configure the width of the default pool.  If the default pool
+    already exists with a different width it is shut down and replaced.
+    Raises [Invalid_argument] on [n < 1]. *)
+
+val default : unit -> t
+(** The process-wide pool, created on first use with
+    {!recommended_domains} width (or the width set by
+    {!set_default_domains}).  Shut down automatically at exit. *)

@@ -123,9 +123,13 @@ let subsets fan_in =
   in
   List.map pins sorted
 
-let family ?points ?opts gate =
-  List.map (fun subset -> curve ?points ?opts gate ~subset)
-    (subsets gate.Gate.fan_in)
+(* The 2^n - 1 curves are independent DC sweeps: fan them out. *)
+let family ?points ?opts ?pool gate =
+  let pool =
+    match pool with Some p -> p | None -> Proxim_util.Pool.default ()
+  in
+  let build subset = curve ?points ?opts gate ~subset in
+  Proxim_util.Pool.map_list pool build (subsets gate.Gate.fan_in)
 
 let choose curves =
   match curves with
@@ -144,7 +148,8 @@ let choose curves =
     let vdd = first.vin.(Array.length first.vin - 1) in
     { vil; vih; vdd }
 
-let thresholds ?points ?opts gate = choose (family ?points ?opts gate)
+let thresholds ?points ?opts ?pool gate =
+  choose (family ?points ?opts ?pool gate)
 
 let pp_curve ppf c =
   let subset_name =

@@ -1,0 +1,254 @@
+(* Tests for the domain pool and the sharded memo cache, plus the
+   parallel == serial determinism guarantees of the characterization
+   paths built on them. *)
+
+module Pool = Proxim_util.Pool
+module Memo_cache = Proxim_util.Memo_cache
+module Floatx = Proxim_util.Floatx
+module Gate = Proxim_gates.Gate
+module Tech = Proxim_gates.Tech
+module Vtc = Proxim_vtc.Vtc
+module Measure = Proxim_measure.Measure
+module Single = Proxim_macromodel.Single
+module Dual = Proxim_macromodel.Dual
+
+(* a shared wide pool keeps domain spawning out of the per-test cost *)
+let wide = lazy (Pool.create ~domains:4)
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics                                                         *)
+
+let test_create_invalid () =
+  Alcotest.check_raises "domains:0 rejected"
+    (Invalid_argument "Pool.create: domains must be >= 1") (fun () ->
+      ignore (Pool.create ~domains:0))
+
+let test_map_preserves_order () =
+  let pool = Lazy.force wide in
+  let n = 1000 in
+  let input = Array.init n (fun i -> i) in
+  let out = Pool.map pool (fun i -> i * i) input in
+  Alcotest.(check int) "length" n (Array.length out);
+  Array.iteri
+    (fun i v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v)
+    out
+
+let test_map_list_preserves_order () =
+  let pool = Lazy.force wide in
+  let input = List.init 257 (fun i -> i) in
+  let out = Pool.map_list pool (fun i -> 2 * i) input in
+  Alcotest.(check (list int)) "order" (List.map (fun i -> 2 * i) input) out
+
+let test_parallel_for_covers_all_indices () =
+  let pool = Lazy.force wide in
+  let n = 500 in
+  let counts = Array.init n (fun _ -> Atomic.make 0) in
+  Pool.parallel_for pool ~n (fun i -> Atomic.incr counts.(i));
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "index %d run exactly once" i)
+        1 (Atomic.get c))
+    counts
+
+let test_exceptions_propagate () =
+  let pool = Lazy.force wide in
+  Alcotest.check_raises "exception from a task reaches the caller"
+    (Failure "task 42") (fun () ->
+      ignore
+        (Pool.map pool
+           (fun i -> if i = 42 then failwith "task 42" else i)
+           (Array.init 100 Fun.id)));
+  (* the pool must survive the failed job *)
+  let out = Pool.map pool Fun.id (Array.init 10 Fun.id) in
+  Alcotest.(check int) "pool usable after exception" 9 out.(9)
+
+let test_nested_use_is_safe () =
+  let pool = Lazy.force wide in
+  (* a task that re-enters the same pool must not deadlock; the inner
+     job degrades to a serial loop on the occupied domain *)
+  let out =
+    Pool.map pool
+      (fun i ->
+        let inner = Pool.map pool (fun j -> (10 * i) + j) (Array.init 5 Fun.id) in
+        Array.fold_left ( + ) 0 inner)
+      (Array.init 20 Fun.id)
+  in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int) (Printf.sprintf "nested result %d" i)
+        ((50 * i) + 10) v)
+    out
+
+let test_serial_pool_matches_wide_pool () =
+  let serial = Pool.create ~domains:1 in
+  let wide = Lazy.force wide in
+  let input = Array.init 128 (fun i -> float_of_int i /. 7.) in
+  let f x = sin x *. exp (cos x) in
+  let a = Pool.map serial f input and b = Pool.map wide f input in
+  Alcotest.(check bool) "bit-identical floats" true (a = b);
+  Pool.shutdown serial
+
+let test_run_serially () =
+  let pool = Lazy.force wide in
+  let out =
+    Pool.run_serially (fun () ->
+      Pool.map pool (fun i -> i + 1) (Array.init 50 Fun.id))
+  in
+  Alcotest.(check int) "serial-mode map still correct" 50 out.(49)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:3 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* post-shutdown jobs degrade to serial rather than hanging *)
+  let out = Pool.map pool (fun i -> i * 3) (Array.init 5 Fun.id) in
+  Alcotest.(check int) "post-shutdown map" 12 out.(4)
+
+(* ------------------------------------------------------------------ *)
+(* Memo cache                                                          *)
+
+let test_cache_basic_memoization () =
+  let cache = Memo_cache.create () in
+  let computed = Atomic.make 0 in
+  let f key =
+    Memo_cache.find_or_compute cache key (fun () ->
+      Atomic.incr computed;
+      key * key)
+  in
+  Alcotest.(check int) "first" 49 (f 7);
+  Alcotest.(check int) "second" 49 (f 7);
+  Alcotest.(check int) "other key" 81 (f 9);
+  Alcotest.(check int) "computed once per key" 2 (Atomic.get computed);
+  let s = Memo_cache.stats cache in
+  Alcotest.(check int) "hits" 1 s.Memo_cache.hits;
+  Alcotest.(check int) "misses" 2 s.Memo_cache.misses;
+  Alcotest.(check int) "entries" 2 s.Memo_cache.entries;
+  Alcotest.(check bool) "mem" true (Memo_cache.mem cache 7);
+  Alcotest.(check bool) "not mem" false (Memo_cache.mem cache 8);
+  Memo_cache.reset_stats cache;
+  let s = Memo_cache.stats cache in
+  Alcotest.(check int) "hits reset" 0 s.Memo_cache.hits;
+  Alcotest.(check int) "entries survive reset" 2 s.Memo_cache.entries
+
+let test_cache_exception_not_cached () =
+  let cache = Memo_cache.create () in
+  Alcotest.check_raises "first attempt raises" (Failure "flaky") (fun () ->
+    ignore (Memo_cache.find_or_compute cache 1 (fun () -> failwith "flaky")));
+  (* the failure must not poison the key *)
+  Alcotest.(check int) "retry succeeds" 11
+    (Memo_cache.find_or_compute cache 1 (fun () -> 11));
+  Alcotest.(check int) "cached after retry" 11
+    (Memo_cache.find_or_compute cache 1 (fun () -> 999))
+
+let test_cache_concurrent_dedup () =
+  (* hammer a few keys from every domain; each distinct key must be
+     computed exactly once, everyone else waits on the pending entry *)
+  let pool = Lazy.force wide in
+  let cache = Memo_cache.create ~shards:4 () in
+  let keys = 8 and queries = 400 in
+  let computed = Array.init keys (fun _ -> Atomic.make 0) in
+  let out =
+    Pool.map pool
+      (fun i ->
+        let key = i mod keys in
+        Memo_cache.find_or_compute cache key (fun () ->
+          Atomic.incr computed.(key);
+          (* widen the race window so waiters actually hit Pending *)
+          ignore (Array.init 1000 Fun.id);
+          key * 100))
+      (Array.init queries (fun i -> i))
+  in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int) (Printf.sprintf "query %d" i) (i mod keys * 100) v)
+    out;
+  Array.iteri
+    (fun key c ->
+      Alcotest.(check int)
+        (Printf.sprintf "key %d computed exactly once" key)
+        1 (Atomic.get c))
+    computed;
+  let s = Memo_cache.stats cache in
+  Alcotest.(check int) "misses = distinct keys" keys s.Memo_cache.misses;
+  Alcotest.(check int) "hits = the rest" (queries - keys) s.Memo_cache.hits;
+  Alcotest.(check int) "length" keys (Memo_cache.length cache)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the characterization paths                           *)
+
+let tech = Tech.generic_5v
+let nand2 = Gate.nand tech ~fan_in:2
+let th = lazy (Vtc.thresholds ~points:201 nand2)
+
+let build_tables pool =
+  let th = Lazy.force th in
+  let taus = Floatx.logspace 50e-12 2e-9 5 in
+  let single_dom = Single.build ~taus ~pool nand2 th ~pin:0 ~edge:Measure.Fall in
+  let single_other =
+    Single.build ~taus ~pool nand2 th ~pin:1 ~edge:Measure.Fall
+  in
+  let dual =
+    Dual.build
+      ~x_tau:(Floatx.logspace 0.4 8. 3)
+      ~x_sep:[| -2.; -0.5; 0.4; 1.1 |]
+      ~pool nand2 th ~single_dom ~single_other ~other:1
+  in
+  Single.save single_dom ^ Single.save single_other ^ Dual.save dual
+
+let test_dual_table_parallel_matches_serial () =
+  let serial = Pool.create ~domains:1 in
+  let a = build_tables serial in
+  Pool.shutdown serial;
+  let b = build_tables (Lazy.force wide) in
+  Alcotest.(check bool) "serial and 4-domain tables bit-identical" true
+    (String.equal a b)
+
+let test_vtc_family_parallel_matches_serial () =
+  let serial = Pool.create ~domains:1 in
+  let a = Vtc.family ~points:101 ~pool:serial nand2 in
+  Pool.shutdown serial;
+  let b = Vtc.family ~points:101 ~pool:(Lazy.force wide) nand2 in
+  Alcotest.(check bool) "VTC families bit-identical" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create rejects width 0" `Quick test_create_invalid;
+          Alcotest.test_case "map preserves order" `Quick
+            test_map_preserves_order;
+          Alcotest.test_case "map_list preserves order" `Quick
+            test_map_list_preserves_order;
+          Alcotest.test_case "parallel_for covers all indices" `Quick
+            test_parallel_for_covers_all_indices;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_exceptions_propagate;
+          Alcotest.test_case "nested use is safe" `Quick
+            test_nested_use_is_safe;
+          Alcotest.test_case "serial pool matches wide pool" `Quick
+            test_serial_pool_matches_wide_pool;
+          Alcotest.test_case "run_serially" `Quick test_run_serially;
+          Alcotest.test_case "shutdown is idempotent" `Quick
+            test_shutdown_idempotent;
+        ] );
+      ( "memo-cache",
+        [
+          Alcotest.test_case "basic memoization + counters" `Quick
+            test_cache_basic_memoization;
+          Alcotest.test_case "exception is not cached" `Quick
+            test_cache_exception_not_cached;
+          Alcotest.test_case "concurrent queries dedup" `Quick
+            test_cache_concurrent_dedup;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "dual-table build: parallel == serial" `Slow
+            test_dual_table_parallel_matches_serial;
+          Alcotest.test_case "VTC family: parallel == serial" `Quick
+            test_vtc_family_parallel_matches_serial;
+        ] );
+    ]

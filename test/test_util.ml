@@ -186,7 +186,7 @@ let prop_pchip_monotone =
 let test_bilinear_pchip_z_matches_trilinear_on_linear_data () =
   let axis = [| 0.; 1.; 2.; 3. |] in
   let f x y z = (2. *. x) -. y +. (0.5 *. z) in
-  let g = Interp.grid3_make ~xs:axis ~ys:axis ~zs:axis ~f in
+  let g = Interp.grid3_make ~xs:axis ~ys:axis ~zs:axis ~f () in
   List.iter
     (fun (x, y, z) ->
       check_float ~eps:1e-12 "agrees with exact" (f x y z)
@@ -197,7 +197,7 @@ let test_bilinear_pchip_z_beats_trilinear_on_curved_z () =
   (* quadratic along z: pchip-z must interpolate much better between knots *)
   let axis = [| 0.; 1.; 2.; 3.; 4. |] in
   let f _ _ z = z *. z in
-  let g = Interp.grid3_make ~xs:axis ~ys:axis ~zs:axis ~f in
+  let g = Interp.grid3_make ~xs:axis ~ys:axis ~zs:axis ~f () in
   let z = 2.5 in
   let exact = z *. z in
   let tri = Interp.trilinear g 1. 1. z in
@@ -208,7 +208,7 @@ let test_bilinear_pchip_z_beats_trilinear_on_curved_z () =
 let test_trilinear_exact_on_linear_function () =
   let axis = [| 0.; 1.; 2. |] in
   let f x y z = (2. *. x) +. (3. *. y) -. z +. 1. in
-  let g = Interp.grid3_make ~xs:axis ~ys:axis ~zs:axis ~f in
+  let g = Interp.grid3_make ~xs:axis ~ys:axis ~zs:axis ~f () in
   check_float "interior" (f 0.5 1.5 0.25) (Interp.trilinear g 0.5 1.5 0.25);
   check_float "corner" (f 2. 2. 2.) (Interp.trilinear g 2. 2. 2.);
   check_float "clamped" (f 2. 0. 0.) (Interp.trilinear g 5. (-1.) 0.)
