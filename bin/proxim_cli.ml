@@ -4,7 +4,8 @@
    $ proxim delay nand3 --pin a --edge fall --tau 500
    $ proxim proximity nand3 a:fall:500:0 b:fall:100:50
    $ proxim glitch nand3 --tau-fall 500 --tau-rise 100 --find-min
-   $ proxim storage --fan-in 4 *)
+   $ proxim storage --fan-in 4
+   $ proxim lint --format json design.ntl store.txt *)
 
 module Gate = Proxim_gates.Gate
 module Tech = Proxim_gates.Tech
@@ -233,6 +234,55 @@ let run_storage fan_in points =
   0
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+
+module Diagnostic = Proxim_lint.Diagnostic
+module Netlist_lint = Proxim_lint.Netlist_lint
+module Model_lint = Proxim_lint.Model_lint
+module Store = Proxim_macromodel.Store
+
+let print_code_table () =
+  List.iter
+    (fun c ->
+      Printf.printf "%-6s %-8s %s\n" (Diagnostic.code_name c)
+        (Diagnostic.severity_name (Diagnostic.default_severity c))
+        (Diagnostic.code_doc c))
+    Diagnostic.all_codes;
+  0
+
+let lint_file ~fanout_limit file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error m -> [ Diagnostic.make ~file PX100 "%s" m ]
+  | text ->
+    let is_store =
+      String.length text >= 15 && String.sub text 0 15 = "proxim-store-v1"
+    in
+    if is_store then
+      match Store.load text with
+      | exception Failure m ->
+        [ Diagnostic.make ~file PX100 "unreadable store: %s" m ]
+      | set -> Model_lint.check_store ~file set
+    else
+      let options = { Netlist_lint.fanout_limit } in
+      Netlist_lint.check_text ~options ~file Tech.generic_5v text
+
+let run_lint files format fail_on fanout_limit show_codes =
+  if show_codes then print_code_table ()
+  else if files = [] then begin
+    prerr_endline "proxim lint: need at least one FILE (or --codes)";
+    2
+  end
+  else begin
+    let diags =
+      Diagnostic.sort (List.concat_map (lint_file ~fanout_limit) files)
+    in
+    (match format with
+     | `Text -> print_string (Diagnostic.report_text diags)
+     | `Json -> print_endline (Diagnostic.report_json_string diags));
+    Diagnostic.exit_code ~fail_on diags
+  end
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
 
 open Cmdliner
@@ -315,6 +365,50 @@ let glitch_cmd =
       $ domains_setup $ gate_arg $ fall_pin $ rise_pin $ tau_fall $ tau_rise
       $ sep $ find_min)
 
+let lint_cmd =
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Netlist (.ntl) or characterized-store file to lint.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: text or json.")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("warning", Diagnostic.Warning); ("error", Diagnostic.Error) ])
+          Diagnostic.Warning
+      & info [ "fail-on" ] ~docv:"SEV"
+          ~doc:
+            "Lowest severity that makes the exit status nonzero: warning \
+             (default) or error.")
+  in
+  let fanout_limit =
+    Arg.(
+      value & opt int Netlist_lint.default_options.Netlist_lint.fanout_limit
+      & info [ "fanout-limit" ] ~docv:"N"
+          ~doc:"Fanout above which PX112 fires.")
+  in
+  let codes =
+    Arg.(
+      value & flag
+      & info [ "codes" ] ~doc:"Print the diagnostic-code table and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static diagnostics for netlists, threshold sets and characterized \
+          stores")
+    Term.(
+      const run_lint $ files $ format $ fail_on $ fanout_limit $ codes)
+
 let storage_cmd =
   let fan_in = Arg.(value & opt int 3 & info [ "fan-in" ]) in
   let points = Arg.(value & opt int 10 & info [ "points" ]) in
@@ -325,6 +419,6 @@ let () =
   let doc = "temporal-proximity gate delay modeling (DAC'96 reproduction)" in
   let main =
     Cmd.group (Cmd.info "proxim" ~version:"1.0.0" ~doc)
-      [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; storage_cmd ]
+      [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; storage_cmd; lint_cmd ]
   in
   exit (Cmd.eval' main)

@@ -6,6 +6,25 @@ module Proximity = Proxim_core.Proximity
 
 type variant = Jun | Nabavi_lishi
 
+type failure = Never_switched | Transition_incomplete
+
+exception Prediction_failed of { gate : string; failure : failure }
+
+let failure_message ~gate = function
+  | Never_switched ->
+    Printf.sprintf
+      "Collapse.predict: equivalent inverter for %s never switched" gate
+  | Transition_incomplete ->
+    Printf.sprintf
+      "Collapse.predict: output transition of the %s equivalent inverter is \
+       incomplete"
+      gate
+
+let () =
+  Printexc.register_printer (function
+    | Prediction_failed { gate; failure } -> Some (failure_message ~gate failure)
+    | _ -> None)
+
 type prediction = {
   out_cross : float;
   out_transition : float;
@@ -153,7 +172,10 @@ let predict ?opts ?load variant gate th ~events =
       Measure.output_delay th ~input_edge:edge ~input_cross:0. ~output:out
     with
     | Some t -> t -. shift
-    | None -> failwith "Collapse.predict: equivalent inverter never switched"
+    | None ->
+      raise
+        (Prediction_failed
+           { gate = gate.Gate.name; failure = Never_switched })
   in
   let out_transition =
     match
@@ -161,6 +183,9 @@ let predict ?opts ?load variant gate th ~events =
         ~output:out
     with
     | Some t -> t
-    | None -> failwith "Collapse.predict: output transition incomplete"
+    | None ->
+      raise
+        (Prediction_failed
+           { gate = gate.Gate.name; failure = Transition_incomplete })
   in
   { out_cross; out_transition; wn_eq; wp_eq }

@@ -22,6 +22,24 @@
 
 type variant = Jun | Nabavi_lishi
 
+type failure =
+  | Never_switched
+      (** the collapsed equivalent inverter's output never crossed the
+          delay threshold within the simulated horizon *)
+  | Transition_incomplete
+      (** the output crossed the delay threshold but never completed a
+          full [Vil..Vih] transition *)
+
+exception Prediction_failed of { gate : string; failure : failure }
+(** Raised by {!predict} when the equivalent-inverter simulation produces
+    no measurable response.  Carries the gate name so callers (and the
+    lint layer) can report the failure with context; a printer is
+    registered, so an uncaught exception still renders a readable
+    message. *)
+
+val failure_message : gate:string -> failure -> string
+(** The human-readable rendering used by the registered printer. *)
+
 type prediction = {
   out_cross : float;
       (** absolute time at which the output crosses the delay threshold *)
@@ -50,4 +68,6 @@ val predict :
   prediction
 (** Collapse, build the equivalent waveform, simulate the equivalent
     inverter under the gate's load, and measure with the multi-input
-    gate's thresholds.  All events must share one edge direction. *)
+    gate's thresholds.  All events must share one edge direction
+    ([Invalid_argument] otherwise); raises {!Prediction_failed} when the
+    equivalent inverter produces no measurable response. *)

@@ -1,0 +1,123 @@
+(** The diagnostics core of the lint subsystem.
+
+    Every lint finding is a {!t}: a {e stable} machine-readable code
+    ([PXnnn]), a severity, a source location (file / line / named
+    context such as a cell, net or table) and a human-readable message.
+    Codes are stable across releases — tools may match on them — while
+    messages are free to improve.
+
+    Code blocks:
+    - [PX0xx] — threshold-set rules from the paper's §2 (the
+      negative-delay hazard and the min-Vil/max-Vih family rule);
+    - [PX1xx] — structural netlist checks, the collect-all counterpart
+      of {!Proxim_sta.Design.create}'s first-failure validation plus
+      style warnings (unused nets, fanout outliers, unreachable
+      outputs);
+    - [PX2xx] — characterized model-store sanity (finiteness,
+      monotonicity, proximity-window saturation, dominance
+      consistency). *)
+
+type severity = Info | Warning | Error
+(** Ordered: [Info < Warning < Error] (the polymorphic compare order). *)
+
+val severity_name : severity -> string
+(** ["info"], ["warning"], ["error"]. *)
+
+val severity_of_name : string -> severity option
+
+type code =
+  | PX001  (** negative-delay threshold hazard: Vm outside (Vil, Vih), §2 *)
+  | PX002  (** threshold set violates the min-Vil / max-Vih family rule *)
+  | PX003  (** broken threshold ordering (0 <= Vil < Vih <= Vdd) *)
+  | PX004  (** degenerate VTC curve (unity-gain points collapsed) *)
+  | PX100  (** netlist syntax error *)
+  | PX101  (** duplicate cell name *)
+  | PX102  (** cell arity disagrees with the gate's fan-in *)
+  | PX103  (** net driven twice *)
+  | PX104  (** primary input driven by a cell *)
+  | PX105  (** undriven net *)
+  | PX106  (** combinational cycle *)
+  | PX107  (** undriven primary output *)
+  | PX108  (** missing 'design' directive *)
+  | PX110  (** unused cell output *)
+  | PX111  (** unused primary input *)
+  | PX112  (** fanout outlier *)
+  | PX113  (** primary output unreachable from any primary input *)
+  | PX201  (** non-finite table entry *)
+  | PX202  (** non-positive single-input sample *)
+  | PX203  (** non-monotone grid axis *)
+  | PX204  (** ratio surface fails to saturate outside the window *)
+  | PX205  (** characterized axis coverage too narrow *)
+  | PX206  (** dominance-crossover inconsistency between paired duals *)
+  | PX207  (** dual table missing its single-input tables *)
+  | PX208  (** incomplete single-table pin/edge coverage *)
+
+val all_codes : code list
+(** Every code, ascending. *)
+
+val code_name : code -> string
+(** ["PX001"], ... — the stable wire format. *)
+
+val code_of_name : string -> code option
+
+val default_severity : code -> severity
+
+val code_doc : code -> string
+(** One-line description (the rows of the README code table and of
+    [proxim lint --codes]). *)
+
+type location = {
+  file : string option;
+  line : int option;
+  context : string option;  (** cell / net / curve / table name *)
+}
+
+val no_loc : location
+
+type t = {
+  code : code;
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+val make :
+  ?severity:severity ->
+  ?file:string ->
+  ?line:int ->
+  ?context:string ->
+  code ->
+  ('a, unit, string, t) format4 ->
+  'a
+(** [make code fmt ...] builds a diagnostic with a printf-formatted
+    message; [severity] defaults to {!default_severity}. *)
+
+val sort : t list -> t list
+(** Stable order by (file, line, code) — the report order. *)
+
+val count : t list -> int * int * int
+(** [(errors, warnings, infos)]. *)
+
+val worst : t list -> severity option
+
+val exit_code : ?fail_on:severity -> t list -> int
+(** Process exit status for a lint run: [2] when any error is present,
+    [1] when the worst finding is a warning (suppressed to [0] under
+    [~fail_on:Error]), [0] otherwise.  [fail_on] defaults to
+    [Warning]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [file:line: severity[PXnnn]: message [context]]. *)
+
+val report_text : t list -> string
+(** Sorted one-per-line rendering followed by an
+    ["E errors, W warnings, I infos"] summary line. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+(** Field-level round-trip: [of_json (to_json d) = Ok d]. *)
+
+val report_json : t list -> Json.t
+(** [{"diagnostics": [...], "summary": {"errors": ..., ...}}]. *)
+
+val report_json_string : t list -> string

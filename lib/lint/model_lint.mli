@@ -1,0 +1,44 @@
+(** Model-quality lints: threshold sets and characterized table stores.
+
+    These passes are grounded in the paper:
+
+    - {!check_thresholds} enforces the §2 threshold-selection rules.  A
+      threshold set measured against the wrong VTC — one whose switching
+      threshold [Vm] falls outside [(Vil, Vih)] — silently yields
+      {e negative} delays; the paper's fix is to take [min Vil] and
+      [max Vih] over all [2^n - 1] curves of the family.  With the
+      family available the rule is checked exactly (PX001/PX002/PX004);
+      without it, the statically-knowable estimate [Vm ~ Vdd/2] is used
+      for the PX001 guard.
+    - {!check_single} / {!check_dual} check characterized tables for
+      non-finite entries (PX201), non-positive [Delta^(1)]/[tau^(1)]
+      samples (PX202), non-monotone grid axes (PX203), ratio surfaces
+      that fail to saturate to the single-input asymptote outside the
+      proximity window (PX204), and axis ranges too narrow to serve
+      realistic queries (PX205).
+    - {!check_store} runs all of the above over a {!Proxim_macromodel.Store.set}
+      plus the cross-table checks: duals without their single-input
+      tables (PX207), incomplete pin/edge coverage (PX208), and
+      dominance consistency — the [(a,b)] and [(b,a)] tables must agree
+      at the crossover separation [s_ab = Delta_a^(1) - Delta_b^(1)]
+      where dominance changes hands (PX206). *)
+
+val check_thresholds :
+  ?file:string ->
+  ?line:int ->
+  ?curves:Proxim_vtc.Vtc.curve list ->
+  name:string ->
+  Proxim_vtc.Vtc.thresholds ->
+  Diagnostic.t list
+(** [curves], when given, is the VTC family the set was (supposedly)
+    chosen from; [name] labels the diagnostics' context (a gate or file
+    name). *)
+
+val check_single :
+  ?file:string -> name:string -> Proxim_macromodel.Single.t -> Diagnostic.t list
+
+val check_dual :
+  ?file:string -> name:string -> Proxim_macromodel.Dual.t -> Diagnostic.t list
+
+val check_store :
+  ?file:string -> Proxim_macromodel.Store.set -> Diagnostic.t list

@@ -1,0 +1,215 @@
+module Gate = Proxim_gates.Gate
+module Netlist_text = Proxim_sta.Netlist_text
+
+type options = { fanout_limit : int }
+
+let default_options = { fanout_limit = 8 }
+
+let check_raw ?(options = default_options) ?file (raw : Netlist_text.raw) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let mk ?severity ?line ?context code fmt =
+    Diagnostic.make ?severity ?file ?line ?context code fmt
+  in
+  (* PX100: everything the scanner could not make sense of *)
+  List.iter
+    (fun (line, msg) -> add (mk ~line PX100 "%s" msg))
+    raw.Netlist_text.raw_errors;
+  (* PX108 *)
+  if raw.Netlist_text.raw_name = None then
+    add (mk PX108 "missing 'design' directive");
+  let cells = raw.Netlist_text.raw_cells in
+  let pis = List.map fst raw.Netlist_text.raw_inputs in
+  let pos = List.map fst raw.Netlist_text.raw_outputs in
+  let is_pi net = List.mem net pis in
+  let is_po net = List.mem net pos in
+  (* PX101: duplicate cell names (first definition wins downstream) *)
+  let cell_lines = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Netlist_text.raw_cell) ->
+      match Hashtbl.find_opt cell_lines c.Netlist_text.cell_name with
+      | Some first ->
+        add
+          (mk ~line:c.Netlist_text.line ~context:c.Netlist_text.cell_name
+             PX101 "duplicate cell name %S (first defined at line %d)"
+             c.Netlist_text.cell_name first)
+      | None ->
+        Hashtbl.add cell_lines c.Netlist_text.cell_name c.Netlist_text.line)
+    cells;
+  (* PX102: arity *)
+  List.iter
+    (fun (c : Netlist_text.raw_cell) ->
+      let want = c.Netlist_text.gate.Gate.fan_in in
+      let got = List.length c.Netlist_text.inputs in
+      if got <> want then
+        add
+          (mk ~line:c.Netlist_text.line ~context:c.Netlist_text.cell_name
+             PX102 "gate %s wants %d inputs, got %d"
+             c.Netlist_text.gate.Gate.name want got))
+    cells;
+  (* drivers: PX103 (double drivers), PX104 (driven primary inputs) *)
+  let driver : (string, Netlist_text.raw_cell) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Netlist_text.raw_cell) ->
+      let net = c.Netlist_text.output in
+      (match Hashtbl.find_opt driver net with
+       | Some first ->
+         add
+           (mk ~line:c.Netlist_text.line ~context:net PX103
+              "net %S driven by both %s (line %d) and %s" net
+              first.Netlist_text.cell_name first.Netlist_text.line
+              c.Netlist_text.cell_name)
+       | None -> Hashtbl.add driver net c);
+      if is_pi net then
+        add
+          (mk ~line:c.Netlist_text.line ~context:net PX104
+             "cell %s drives primary input %S" c.Netlist_text.cell_name net))
+    cells;
+  let driven net = Hashtbl.mem driver net in
+  (* readers *)
+  let readers : (string, Netlist_text.raw_cell list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (c : Netlist_text.raw_cell) ->
+      List.iter
+        (fun net ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt readers net) in
+          Hashtbl.replace readers net (c :: cur))
+        c.Netlist_text.inputs)
+    cells;
+  let fanout net =
+    List.length (Option.value ~default:[] (Hashtbl.find_opt readers net))
+  in
+  (* PX105: undriven nets, reported once per net at the first reader *)
+  let reported_undriven = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Netlist_text.raw_cell) ->
+      List.iter
+        (fun net ->
+          if
+            (not (driven net)) && (not (is_pi net))
+            && not (Hashtbl.mem reported_undriven net)
+          then begin
+            Hashtbl.add reported_undriven net ();
+            add
+              (mk ~line:c.Netlist_text.line ~context:net PX105
+                 "net %S read by cell %s is driven by nothing and is not a \
+                  primary input"
+                 net c.Netlist_text.cell_name)
+          end)
+        c.Netlist_text.inputs)
+    cells;
+  (* PX107: undriven primary outputs *)
+  List.iter
+    (fun (net, line) ->
+      if (not (driven net)) && not (is_pi net) then
+        add
+          (mk ~line ~context:net PX107
+             "primary output %S is driven by nothing and is not a primary \
+              input"
+             net))
+    raw.Netlist_text.raw_outputs;
+  (* PX106: combinational cycles.  DFS over the driver graph keyed by
+     output net; every back edge reports the cycle it closes once. *)
+  let state : (string, [ `Active | `Done ]) Hashtbl.t = Hashtbl.create 16 in
+  let rec visit (c : Netlist_text.raw_cell) path =
+    let net = c.Netlist_text.output in
+    match Hashtbl.find_opt state net with
+    | Some `Done -> ()
+    | Some `Active ->
+      (* [path] holds the cells between here and the cycle entry *)
+      let cycle =
+        let rec upto acc = function
+          | [] -> List.rev acc
+          | (p : Netlist_text.raw_cell) :: tl ->
+            if p.Netlist_text.output = net then List.rev (p :: acc)
+            else upto (p :: acc) tl
+        in
+        upto [] path
+      in
+      let names =
+        List.rev_map (fun (p : Netlist_text.raw_cell) -> p.Netlist_text.cell_name) cycle
+      in
+      add
+        (mk ~line:c.Netlist_text.line ~context:c.Netlist_text.cell_name PX106
+           "combinational cycle: %s"
+           (String.concat " -> " (names @ [ List.hd names ])))
+    | None ->
+      Hashtbl.replace state net `Active;
+      List.iter
+        (fun input ->
+          match Hashtbl.find_opt driver input with
+          | Some d -> visit d (c :: path)
+          | None -> ())
+        c.Netlist_text.inputs;
+      Hashtbl.replace state net `Done
+  in
+  List.iter (fun c -> visit c []) cells;
+  (* PX110: cell outputs nobody consumes *)
+  List.iter
+    (fun (c : Netlist_text.raw_cell) ->
+      let net = c.Netlist_text.output in
+      if fanout net = 0 && not (is_po net) then
+        add
+          (mk ~line:c.Netlist_text.line ~context:net PX110
+             "output %S of cell %s is read by nothing and is not a primary \
+              output"
+             net c.Netlist_text.cell_name))
+    cells;
+  (* PX111: dead primary inputs (feeding a primary output through a
+     direct feed-through still counts as used) *)
+  List.iter
+    (fun (net, line) ->
+      if fanout net = 0 && not (is_po net) then
+        add (mk ~line ~context:net PX111 "primary input %S is read by no cell" net))
+    raw.Netlist_text.raw_inputs;
+  (* PX112: fanout outliers *)
+  Hashtbl.iter
+    (fun net rs ->
+      let n = List.length rs in
+      if n > options.fanout_limit then
+        let line =
+          Option.map
+            (fun (c : Netlist_text.raw_cell) -> c.Netlist_text.line)
+            (Hashtbl.find_opt driver net)
+        in
+        add
+          (mk ?line ~context:net PX112
+             "net %S fans out to %d pins (limit %d) — the load model and the \
+              characterized tables get unreliable out here"
+             net n options.fanout_limit))
+    readers;
+  (* PX113: primary outputs no primary-input event can ever reach.  A
+     cell output becomes reachable when at least one of its inputs is. *)
+  let reachable = Hashtbl.create 16 in
+  List.iter (fun net -> Hashtbl.replace reachable net ()) pis;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (c : Netlist_text.raw_cell) ->
+        if not (Hashtbl.mem reachable c.Netlist_text.output) then
+          if List.exists (Hashtbl.mem reachable) c.Netlist_text.inputs then begin
+            Hashtbl.replace reachable c.Netlist_text.output ();
+            changed := true
+          end)
+      cells
+  done;
+  List.iter
+    (fun (net, line) ->
+      if driven net && not (Hashtbl.mem reachable net) then
+        add
+          (mk ~line ~context:net PX113
+             "primary output %S is unreachable from every primary input" net))
+    raw.Netlist_text.raw_outputs;
+  (* threshold directive, if any: the §2 checks with a source location *)
+  (match raw.Netlist_text.raw_thresholds with
+   | None -> ()
+   | Some (th, line) ->
+     List.iter add
+       (Model_lint.check_thresholds ?file ~line ~name:"thresholds directive" th));
+  Diagnostic.sort (List.rev !diags)
+
+let check_text ?options ?file tech text =
+  check_raw ?options ?file (Netlist_text.parse_raw tech text)

@@ -33,6 +33,9 @@ type t = {
 let dom t = t.dom
 let other t = t.other
 let edge t = t.edge
+let assist t = t.assist
+let delay_grid t = t.delay_grid
+let trans_grid t = t.trans_grid
 
 let find tables ~dom:d ~other:o ~edge:e =
   List.find (fun t -> t.dom = d && t.other = o && t.edge = e) tables

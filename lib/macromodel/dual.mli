@@ -43,6 +43,17 @@ val dom : t -> int
 val other : t -> int
 val edge : t -> Proxim_measure.Measure.edge
 
+val assist : t -> bool
+(** Do the two switching transistors assist each other (parallel branches
+    in the driving network) or gate each other (series stack)?  Decides
+    on which side of the separation axis the proximity window closes. *)
+
+val delay_grid : t -> Proxim_util.Interp.grid3
+val trans_grid : t -> Proxim_util.Interp.grid3
+(** The raw normalized ratio tables (axes [ln x1, ln x2, x3]) — exposed
+    for the diagnostics layer ({!Proxim_lint}), which checks axis
+    monotonicity, entry finiteness and window saturation on them. *)
+
 val find :
   t list ->
   dom:int ->

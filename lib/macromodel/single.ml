@@ -20,6 +20,11 @@ type t = {
 let pin t = t.pin
 let edge t = t.edge
 
+let samples t =
+  let xs, d = Interp.pchip_knots t.delay_tbl in
+  let _, tr = Interp.pchip_knots t.trans_tbl in
+  (xs, d, tr)
+
 let strength gate ~edge =
   match edge with
   | Measure.Rise -> Tech.k_n gate.Gate.tech ~w:gate.Gate.wn

@@ -17,6 +17,11 @@ type t
 val pin : t -> int
 val edge : t -> Proxim_measure.Measure.edge
 
+val samples : t -> float array * float array * float array
+(** The raw tabulated knots [(ln_argument, delay_ratio, trans_ratio)] —
+    copies, in axis order.  Exposed for the diagnostics layer
+    ({!Proxim_lint}) and the storage-complexity accounting. *)
+
 val build :
   ?taus:float array ->
   ?opts:Proxim_spice.Options.t ->

@@ -1,11 +1,31 @@
 module Gate = Proxim_gates.Gate
+module Vtc = Proxim_vtc.Vtc
+
+type raw_cell = {
+  line : int;
+  cell_name : string;
+  gate : Gate.t;
+  inputs : string list;
+  output : string;
+}
+
+type raw = {
+  raw_name : (string * int) option;
+  raw_inputs : (string * int) list;
+  raw_outputs : (string * int) list;
+  raw_cells : raw_cell list;
+  raw_thresholds : (Vtc.thresholds * int) option;
+  raw_errors : (int * string) list;
+}
 
 type accum = {
-  mutable design_name : string option;
-  mutable inputs : string list;
-  mutable outputs : string list;
-  mutable cells : Design.cell list;  (** reversed *)
-  mutable ended : bool;
+  mutable r_name : (string * int) option;
+  mutable r_inputs : (string * int) list;  (** reversed *)
+  mutable r_outputs : (string * int) list;  (** reversed *)
+  mutable r_cells : raw_cell list;  (** reversed *)
+  mutable r_thresholds : (Vtc.thresholds * int) option;
+  mutable r_errors : (int * string) list;  (** reversed *)
+  mutable r_ended : bool;
 }
 
 let tokens line =
@@ -18,29 +38,51 @@ let strip_comment line =
   | Some i -> String.sub line 0 i
   | None -> line
 
-let parse tech text =
+(* Scan the whole text, never stopping at a bad line: every syntax-level
+   problem lands in [raw_errors] with its line number, and everything
+   that did parse is kept so the lint passes can analyze a broken file as
+   a whole. *)
+let parse_raw tech text =
   let acc =
-    { design_name = None; inputs = []; outputs = []; cells = []; ended = false }
+    {
+      r_name = None;
+      r_inputs = [];
+      r_outputs = [];
+      r_cells = [];
+      r_thresholds = None;
+      r_errors = [];
+      r_ended = false;
+    }
   in
   let err lineno fmt =
-    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+    Printf.ksprintf (fun m -> acc.r_errors <- (lineno, m) :: acc.r_errors) fmt
   in
   let parse_line lineno line =
     match tokens (strip_comment line) with
-    | [] -> Ok ()
-    | _ when acc.ended -> err lineno "content after 'end'"
-    | [ "design"; name ] ->
-      if acc.design_name <> None then err lineno "duplicate 'design'"
-      else begin
-        acc.design_name <- Some name;
-        Ok ()
-      end
+    | [] -> ()
+    | _ when acc.r_ended -> err lineno "content after 'end'"
+    | [ "design"; name ] -> (
+      match acc.r_name with
+      | Some _ -> err lineno "duplicate 'design'"
+      | None -> acc.r_name <- Some (name, lineno))
     | "input" :: nets when nets <> [] ->
-      acc.inputs <- acc.inputs @ nets;
-      Ok ()
+      acc.r_inputs <-
+        List.rev_append (List.map (fun n -> (n, lineno)) nets) acc.r_inputs
     | "output" :: nets when nets <> [] ->
-      acc.outputs <- acc.outputs @ nets;
-      Ok ()
+      acc.r_outputs <-
+        List.rev_append (List.map (fun n -> (n, lineno)) nets) acc.r_outputs
+    | [ "thresholds"; vil_s; vih_s; vdd_s ] -> (
+      match
+        ( acc.r_thresholds,
+          float_of_string_opt vil_s,
+          float_of_string_opt vih_s,
+          float_of_string_opt vdd_s )
+      with
+      | Some _, _, _, _ -> err lineno "duplicate 'thresholds'"
+      | None, Some vil, Some vih, Some vdd ->
+        acc.r_thresholds <- Some ({ Vtc.vil; vih; vdd }, lineno)
+      | None, _, _, _ ->
+        err lineno "bad numbers in 'thresholds' (expected VIL VIH VDD)")
     | "cell" :: name :: gate_name :: rest -> (
       match Gate.of_name tech gate_name with
       | Error m -> err lineno "%s" m
@@ -54,44 +96,65 @@ let parse tech text =
         match split_arrow [] rest with
         | None -> err lineno "expected 'cell NAME GATE in... -> out'"
         | Some (ins, out) ->
-          if List.length ins <> gate.Gate.fan_in then
-            err lineno "gate %s wants %d inputs, got %d" gate_name
-              gate.Gate.fan_in (List.length ins)
-          else begin
-            acc.cells <-
-              {
-                Design.name;
-                gate;
-                input_nets = Array.of_list ins;
-                output_net = out;
-              }
-              :: acc.cells;
-            Ok ()
-          end))
-    | [ "end" ] ->
-      acc.ended <- true;
-      Ok ()
+          acc.r_cells <-
+            { line = lineno; cell_name = name; gate; inputs = ins; output = out }
+            :: acc.r_cells))
+    | [ "end" ] -> acc.r_ended <- true
     | tok :: _ -> err lineno "unrecognized directive %S" tok
   in
-  let lines = String.split_on_char '\n' text in
-  let rec go lineno = function
-    | [] -> Ok ()
-    | line :: tl -> (
-      match parse_line lineno line with
-      | Ok () -> go (lineno + 1) tl
-      | Error _ as e -> e)
+  List.iteri (fun i line -> parse_line (i + 1) line) (String.split_on_char '\n' text);
+  {
+    raw_name = acc.r_name;
+    raw_inputs = List.rev acc.r_inputs;
+    raw_outputs = List.rev acc.r_outputs;
+    raw_cells = List.rev acc.r_cells;
+    raw_thresholds = acc.r_thresholds;
+    raw_errors = List.rev acc.r_errors;
+  }
+
+let arity_errors raw =
+  List.filter_map
+    (fun c ->
+      let want = c.gate.Gate.fan_in and got = List.length c.inputs in
+      if got <> want then
+        Some
+          ( c.line,
+            Printf.sprintf "gate %s wants %d inputs, got %d" c.gate.Gate.name
+              want got )
+      else None)
+    raw.raw_cells
+
+let design_cell c =
+  {
+    Design.name = c.cell_name;
+    gate = c.gate;
+    input_nets = Array.of_list c.inputs;
+    output_net = c.output;
+  }
+
+let parse tech text =
+  let raw = parse_raw tech text in
+  let errors =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (raw.raw_errors @ arity_errors raw)
   in
-  match go 1 lines with
-  | Error _ as e -> e
-  | Ok () -> (
-    match acc.design_name with
+  match errors with
+  | _ :: _ ->
+    Error
+      (String.concat "\n"
+         (List.map (fun (l, m) -> Printf.sprintf "line %d: %s" l m) errors))
+  | [] -> (
+    match raw.raw_name with
     | None -> Error "missing 'design' directive"
-    | Some name -> (
+    | Some (name, _) -> (
       try
         Ok
           ( name,
-            Design.create ~cells:(List.rev acc.cells)
-              ~primary_inputs:acc.inputs ~primary_outputs:acc.outputs )
+            Design.create
+              ~cells:(List.map design_cell raw.raw_cells)
+              ~primary_inputs:(List.map fst raw.raw_inputs)
+              ~primary_outputs:(List.map fst raw.raw_outputs) )
       with Invalid_argument m -> Error m))
 
 let parse_file tech path =

@@ -7,6 +7,18 @@ module Memo_cache = Proxim_util.Memo_cache
 
 type arrival = { time : float; slew : float; edge : Measure.edge }
 
+exception Mixed_input_edges of { cell : string }
+
+let () =
+  Printexc.register_printer (function
+    | Mixed_input_edges { cell } ->
+      Some
+        (Printf.sprintf
+           "Sta.analyze: mixed input edges at cell %s (a single-vector \
+            analysis cannot order a glitch)"
+           cell)
+    | _ -> None)
+
 type mode = Classic | Proximity
 
 type report = {
@@ -115,10 +127,7 @@ let analyze ?(mode = Proximity) ?pool ~models ~thresholds design ~pi =
           (fun ((e : Proximity.event), _) ->
             e.Proximity.edge <> first.Proximity.edge)
           rest
-      then
-        failwith
-          (Printf.sprintf "Sta.analyze: mixed input edges at cell %s"
-             cell.Design.name);
+      then raise (Mixed_input_edges { cell = cell.Design.name });
       let edge = first.Proximity.edge in
       let m = models cell in
       let plain_events = List.map fst events in

@@ -30,6 +30,12 @@ type arrival = {
 
 type mode = Classic | Proximity
 
+exception Mixed_input_edges of { cell : string }
+(** Raised by {!analyze} when the switching inputs of one cell arrive with
+    inconsistent edge directions — a single-vector analysis cannot order
+    the resulting glitch.  Carries the offending cell's name; a printer
+    is registered so an uncaught exception still renders readably. *)
+
 type report = {
   arrivals : (string * arrival) list;  (** every switching net, topo order *)
   critical_po : (string * arrival) option;
@@ -61,10 +67,9 @@ val analyze :
   report
 (** Propagate the primary-input events through the design.  Inputs of a
     cell whose nets carry no event are treated as stable at sensitizing
-    levels.  Raises [Failure] if the switching inputs of one cell arrive
-    with inconsistent edges (a single-vector analysis cannot order a
-    glitch) or if a switching cell input would need a non-inverting
-    path.
+    levels.  Raises {!Mixed_input_edges} if the switching inputs of one
+    cell arrive with inconsistent edges (a single-vector analysis cannot
+    order a glitch).
 
     Cells on the same topological level are timed concurrently on [pool]
     (default: {!Proxim_util.Pool.default}); the report is bit-identical

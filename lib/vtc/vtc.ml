@@ -151,6 +151,9 @@ let choose curves =
 let thresholds ?points ?opts ?pool gate =
   choose (family ?points ?opts ?pool gate)
 
+let pp_thresholds ppf th =
+  Format.fprintf ppf "Vil=%.3f Vih=%.3f Vdd=%.3f" th.vil th.vih th.vdd
+
 let pp_curve ppf c =
   let subset_name =
     String.concat "" (List.map Gate.pin_name c.subset)

@@ -175,7 +175,7 @@ let test_mixed_edges_rejected () =
     (try
        ignore (Sta.analyze ~models ~thresholds:th d ~pi);
        false
-     with Failure _ -> true)
+     with Sta.Mixed_input_edges { cell = _ } -> true)
 
 let () =
   Alcotest.run "sta"
