@@ -26,6 +26,11 @@ module Proximity = Proxim_core.Proximity
 module Inertial = Proxim_core.Inertial
 module Storage = Proxim_core.Storage
 module Collapse = Proxim_baseline.Collapse
+module Memo_cache = Proxim_util.Memo_cache
+module Timing = Proxim_timing.Timing
+module Graph = Proxim_timing.Graph
+module Design = Proxim_sta.Design
+module Sta = Proxim_sta.Sta
 
 let quick = ref false
 let domains = ref (Pool.recommended_domains ())
@@ -698,6 +703,258 @@ let parallel_bench () =
   Printf.printf "  wrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Incremental (ECO) re-analysis: Sta.update on a single edit vs a full
+   Sta.reanalyze of the same final configuration.  Both run on a serial
+   pool so the numbers measure the incremental machinery, not domain
+   dispatch (parallel_bench covers the pool).  Writes
+   BENCH_incremental.json.                                             *)
+
+(* Strictly layered random designs: cells in layer L read only layer L-1
+   outputs, so all inputs of a cell share one edge parity (the gates
+   invert) and the fanout cone of a single edit stays a small fraction
+   of the design -- the regime where ECO re-analysis pays. *)
+let random_layered_design rng ~tech ~depth ~width =
+  let gate_pool =
+    [|
+      Gate.nand tech ~fan_in:2; Gate.nor tech ~fan_in:2;
+      Gate.nand tech ~fan_in:3;
+    |]
+  in
+  let pis = Array.init width (Printf.sprintf "pi%d") in
+  let prev = ref pis in
+  let cells = ref [] in
+  for layer = 0 to depth - 1 do
+    let layer_cells =
+      Array.init width (fun j ->
+          let gate =
+            gate_pool.(Prng.int rng ~lo:0 ~hi:(Array.length gate_pool - 1))
+          in
+          let rec pick chosen n =
+            if n = 0 then chosen
+            else
+              let i = Prng.int rng ~lo:0 ~hi:(width - 1) in
+              if List.mem i chosen then pick chosen n
+              else pick (i :: chosen) (n - 1)
+          in
+          let ins = pick [] gate.Gate.fan_in in
+          {
+            Design.name = Printf.sprintf "u%d_%d" layer j;
+            gate;
+            input_nets = Array.of_list (List.map (fun i -> (!prev).(i)) ins);
+            output_net = Printf.sprintf "n%d_%d" layer j;
+          })
+    in
+    cells := Array.to_list layer_cells @ !cells;
+    prev := Array.map (fun c -> c.Design.output_net) layer_cells
+  done;
+  Design.create ~cells:(List.rev !cells)
+    ~primary_inputs:(Array.to_list pis)
+    ~primary_outputs:(Array.to_list !prev)
+
+(* A synthetic-model factory with per-cell seed overrides, so a
+   Touch_cell ECO can stand in for re-characterizing one instance.
+   Mirrors Sta.synthetic_factory's stats plumbing: the merged counters
+   cover the factory memo plus every built model's internal cache. *)
+let eco_model_factory () =
+  let overrides : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let cache = Memo_cache.create ~shards:4 () in
+  let created = ref [] in
+  let created_mutex = Mutex.create () in
+  let models (cell : Design.cell) =
+    let seed =
+      match Hashtbl.find_opt overrides cell.Design.name with
+      | Some s -> s
+      | None -> 0
+    in
+    Memo_cache.find_or_compute cache
+      (cell.Design.gate.Gate.name, seed)
+      (fun () ->
+        let m = Models.synthetic ~seed cell.Design.gate in
+        Mutex.protect created_mutex (fun () -> created := m :: !created);
+        m)
+  in
+  let factory_stats () =
+    let built = Mutex.protect created_mutex (fun () -> !created) in
+    List.fold_left
+      (fun acc (m : Models.t) ->
+        Models.merge_stats acc (m.Models.cache_stats ()))
+      (Memo_cache.stats cache) built
+  in
+  (overrides, models, factory_stats)
+
+let arrival_bits_eq (a : Sta.arrival) (b : Sta.arrival) =
+  Int64.equal (Int64.bits_of_float a.Sta.time) (Int64.bits_of_float b.Sta.time)
+  && Int64.equal (Int64.bits_of_float a.Sta.slew) (Int64.bits_of_float b.Sta.slew)
+  && a.Sta.edge = b.Sta.edge
+
+let report_bits_eq (a : Sta.report) (b : Sta.report) =
+  List.length a.Sta.arrivals = List.length b.Sta.arrivals
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) -> String.equal n1 n2 && arrival_bits_eq a1 a2)
+       a.Sta.arrivals b.Sta.arrivals
+  && (match (a.Sta.critical_po, b.Sta.critical_po) with
+     | None, None -> true
+     | Some (n1, a1), Some (n2, a2) ->
+       String.equal n1 n2 && arrival_bits_eq a1 a2
+     | _ -> false)
+  && a.Sta.predecessors = b.Sta.predecessors
+
+type incr_result = {
+  ir_cells : int;
+  ir_levels : int;
+  ir_trials : int;
+  ir_full_ms : float;  (** median *)
+  ir_incr_ms : float;  (** median *)
+  ir_speedup : float;
+  ir_evaluated : float;  (** median cells re-evaluated per update *)
+  ir_identical : bool;
+  ir_stats : Memo_cache.stats;
+}
+
+let random_pi_event rng =
+  {
+    Sta.time = Prng.float rng ~lo:0. ~hi:300e-12;
+    slew = Prng.float rng ~lo:150e-12 ~hi:600e-12;
+    edge = Measure.Fall;
+  }
+
+let incremental_design rng pool th ~tech ~depth ~width ~trials =
+  let design = random_layered_design rng ~tech ~depth ~width in
+  let n_cells = List.length (Design.cells design) in
+  let overrides, models, factory_stats = eco_model_factory () in
+  let pi =
+    List.map
+      (fun net -> (net, random_pi_event rng))
+      (Design.primary_inputs design)
+  in
+  let build () =
+    Sta.build_ir ~mode:Sta.Proximity ~models ~thresholds:th design ~pi
+  in
+  let ir = build () in
+  let ir_full = build () in
+  ignore (Sta.reanalyze ~pool ir);
+  ignore (Sta.reanalyze ~pool ir_full);
+  let pis = Array.of_list (Design.primary_inputs design) in
+  let cell_names =
+    Array.of_list (List.map (fun c -> c.Design.name) (Design.cells design))
+  in
+  let t_incr = Array.make trials 0. in
+  let t_full = Array.make trials 0. in
+  let evaluated = Array.make trials 0. in
+  let identical = ref true in
+  for t = 0 to trials - 1 do
+    let eco =
+      if Prng.int rng ~lo:0 ~hi:9 < 7 then
+        (* re-timed primary input *)
+        let net = pis.(Prng.int rng ~lo:0 ~hi:(Array.length pis - 1)) in
+        Sta.Set_pi (net, Some (random_pi_event rng))
+      else begin
+        (* one re-characterized instance: swap its model seed *)
+        let name =
+          cell_names.(Prng.int rng ~lo:0 ~hi:(Array.length cell_names - 1))
+        in
+        Hashtbl.replace overrides name (t + 1);
+        Sta.Touch_cell name
+      end
+    in
+    let t0 = Unix.gettimeofday () in
+    let st = Sta.update ~pool ir [ eco ] in
+    t_incr.(t) <- Unix.gettimeofday () -. t0;
+    evaluated.(t) <- float_of_int st.Timing.evaluated;
+    (* bring ir_full's sources/models to the same configuration, then
+       time a from-scratch pass over it *)
+    ignore (Sta.update ~pool ir_full [ eco ]);
+    let t0 = Unix.gettimeofday () in
+    ignore (Sta.reanalyze ~pool ir_full);
+    t_full.(t) <- Unix.gettimeofday () -. t0;
+    if not (report_bits_eq (Sta.report ir) (Sta.report ir_full)) then
+      identical := false
+  done;
+  let median a = Stats.percentile a 50. in
+  let full_ms = 1e3 *. median t_full and incr_ms = 1e3 *. median t_incr in
+  {
+    ir_cells = n_cells;
+    ir_levels = Graph.level_count (Design.graph design);
+    ir_trials = trials;
+    ir_full_ms = full_ms;
+    ir_incr_ms = incr_ms;
+    ir_speedup = (if incr_ms > 0. then full_ms /. incr_ms else 1.);
+    ir_evaluated = median evaluated;
+    ir_identical = !identical;
+    ir_stats = factory_stats ();
+  }
+
+let incremental_bench () =
+  let c = Lazy.force ctx in
+  section "Incremental (ECO) re-analysis: Sta.update vs full reanalyze";
+  let sizes =
+    if !quick then [ (3, 16) ] else [ (3, 133); (4, 150) ]
+  in
+  let trials = if !quick then 8 else 40 in
+  let rng = Prng.create 0xEC0L in
+  let pool = Pool.create ~domains:1 in
+  let results =
+    List.map
+      (fun (depth, width) ->
+        let r =
+          incremental_design rng pool c.th ~tech:c.tech ~depth ~width ~trials
+        in
+        Printf.printf
+          "  %4d cells / %d levels: full %8.3f ms, incremental %8.3f ms \
+           (%5.1fx), median %3.0f of %d cells re-evaluated, %s\n%!"
+          r.ir_cells r.ir_levels r.ir_full_ms r.ir_incr_ms r.ir_speedup
+          r.ir_evaluated r.ir_cells
+          (if r.ir_identical then "bit-identical" else "MISMATCH");
+        r)
+      sizes
+  in
+  let identical = List.for_all (fun r -> r.ir_identical) results in
+  let speedup =
+    List.fold_left (fun acc r -> Float.min acc r.ir_speedup) infinity results
+  in
+  let stats =
+    List.fold_left
+      (fun acc r -> Models.merge_stats acc r.ir_stats)
+      { Memo_cache.hits = 0; misses = 0; entries = 0 }
+      results
+  in
+  Pool.shutdown pool;
+  Printf.printf
+    "  INCREMENTAL SUMMARY: median speedup %.1fx (worst design), reports \
+     %s, model cache %d hits / %d misses / %d entries\n"
+    speedup
+    (if identical then "bit-identical" else "DIFFER")
+    stats.Memo_cache.hits stats.Memo_cache.misses stats.Memo_cache.entries;
+  let oc = open_out "BENCH_incremental.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"single-edit ECO on random layered designs, proximity \
+     mode, synthetic models\",\n\
+    \  \"quick\": %b,\n\
+    \  \"trials_per_design\": %d,\n\
+    \  \"median_speedup\": %.2f,\n\
+    \  \"bit_identical\": %b,\n\
+    \  \"designs\": [\n"
+    !quick trials speedup identical;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"cells\": %d, \"levels\": %d, \"full_median_ms\": %.4f, \
+         \"incremental_median_ms\": %.4f, \"median_speedup\": %.2f, \
+         \"median_evaluated\": %.0f, \"bit_identical\": %b }%s\n"
+        r.ir_cells r.ir_levels r.ir_full_ms r.ir_incr_ms r.ir_speedup
+        r.ir_evaluated r.ir_identical
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"model_cache\": { \"hits\": %d, \"misses\": %d, \"entries\": %d }\n\
+     }\n"
+    stats.Memo_cache.hits stats.Memo_cache.misses stats.Memo_cache.entries;
+  close_out oc;
+  Printf.printf "  wrote BENCH_incremental.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -715,6 +972,7 @@ let experiments =
     ("fanin_sweep", fanin_sweep);
     ("microbench", microbench);
     ("parallel_bench", parallel_bench);
+    ("incremental_bench", incremental_bench);
   ]
 
 (* ablation_correction shares its output with table5_1; avoid printing it

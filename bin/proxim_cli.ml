@@ -4,6 +4,8 @@
    $ proxim delay nand3 --pin a --edge fall --tau 500
    $ proxim proximity nand3 a:fall:500:0 b:fall:100:50
    $ proxim glitch nand3 --tau-fall 500 --tau-rise 100 --find-min
+   $ proxim sta design.ntl --pi a:fall:500:0 --pi b:fall:100:50 --paths 3
+   $ proxim sta design.ntl --pi a:fall:500:0 --eco pi:a:fall:200:0 --verify-eco
    $ proxim storage --fan-in 4
    $ proxim lint --format json design.ntl store.txt *)
 
@@ -283,6 +285,199 @@ let run_lint files format fail_on fanout_limit show_codes =
   end
 
 (* ------------------------------------------------------------------ *)
+(* sta                                                                 *)
+
+module Sta = Proxim_sta.Sta
+module Design = Proxim_sta.Design
+module Netlist_text = Proxim_sta.Netlist_text
+module Timing = Proxim_timing.Timing
+module Graph = Proxim_timing.Graph
+module Memo_cache = Proxim_util.Memo_cache
+
+let edge_name = function Measure.Rise -> "rise" | Measure.Fall -> "fall"
+
+let parse_pi_spec s =
+  match String.split_on_char ':' s with
+  | [ net; edge_s; tau_s; t_s ] -> (
+    match edge_of_string edge_s with
+    | Error e -> Error e
+    | Ok edge -> (
+      match (float_of_string_opt tau_s, float_of_string_opt t_s) with
+      | Some tau_ps, Some t_ps ->
+        Ok (net, { Sta.time = t_ps *. 1e-12; slew = tau_ps *. 1e-12; edge })
+      | None, _ | _, None ->
+        Error (`Msg (Printf.sprintf "bad numbers in pi event %s" s))))
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "bad pi event %s (expected net:edge:tau_ps:cross_ps, e.g. \
+            a:fall:500:0)"
+           s))
+
+let parse_eco_spec s =
+  match String.split_on_char ':' s with
+  | [ "cell"; name ] -> Ok (Sta.Touch_cell name)
+  | [ "pi"; net; "quiet" ] | [ "pi"; net; "-" ] -> Ok (Sta.Set_pi (net, None))
+  | "pi" :: net :: ([ _; _; _ ] as rest) ->
+    Result.map
+      (fun (_, a) -> Sta.Set_pi (net, Some a))
+      (parse_pi_spec (String.concat ":" (net :: rest)))
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "bad eco %s (expected pi:NET:EDGE:TAU_PS:CROSS_PS, pi:NET:quiet \
+            or cell:NAME)"
+           s))
+
+let rec parse_all parse acc = function
+  | [] -> Ok (List.rev acc)
+  | s :: tl -> (
+    match parse s with
+    | Ok v -> parse_all parse (v :: acc) tl
+    | Error e -> Error e)
+
+(* bit-exact report comparison, the --verify-eco gate: an incremental
+   update must reproduce a fresh analysis to the last bit *)
+let report_eq (r1 : Sta.report) (r2 : Sta.report) =
+  let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let aeq (a : Sta.arrival) (b : Sta.arrival) =
+    feq a.Sta.time b.Sta.time && feq a.Sta.slew b.Sta.slew
+    && a.Sta.edge = b.Sta.edge
+  in
+  let alist_eq l1 l2 =
+    List.length l1 = List.length l2
+    && List.for_all2 (fun (n1, a1) (n2, a2) -> n1 = n2 && aeq a1 a2) l1 l2
+  in
+  alist_eq r1.Sta.arrivals r2.Sta.arrivals
+  && (match (r1.Sta.critical_po, r2.Sta.critical_po) with
+     | None, None -> true
+     | Some (n1, a1), Some (n2, a2) -> n1 = n2 && aeq a1 a2
+     | Some _, None | None, Some _ -> false)
+  && r1.Sta.predecessors = r2.Sta.predecessors
+
+let apply_eco_to_pi pi = function
+  | Sta.Touch_cell _ -> pi
+  | Sta.Set_pi (net, a) -> (
+    let rest = List.remove_assoc net pi in
+    match a with None -> rest | Some a -> rest @ [ (net, a) ])
+
+let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
+    verify_eco =
+  let tech = Tech.generic_5v in
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error m ->
+    prerr_endline m;
+    1
+  | text -> (
+    match Netlist_text.parse tech text with
+    | Error m ->
+      prerr_endline m;
+      1
+    | Ok (name, design) -> (
+      match
+        ( parse_all parse_pi_spec [] pi_specs,
+          parse_all parse_eco_spec [] eco_specs )
+      with
+      | Error (`Msg m), _ | _, Error (`Msg m) ->
+        prerr_endline m;
+        1
+      | Ok [], _ ->
+        prerr_endline "proxim sta: need at least one --pi event";
+        1
+      | Ok pi, Ok ecos ->
+        if paths_k < 1 then begin
+          prerr_endline "proxim sta: --paths must be >= 1";
+          2
+        end
+        else begin
+          let raw = Netlist_text.parse_raw tech text in
+          let th =
+            match raw.Netlist_text.raw_thresholds with
+            | Some (th, _) -> th
+            | None -> (
+              match Design.cells design with
+              | c :: _ -> Vtc.thresholds c.Design.gate
+              | [] -> (
+                match Gate.of_name tech "inv" with
+                | Ok g -> Vtc.thresholds g
+                | Error m -> failwith m))
+          in
+          let factory =
+            match models_kind with
+            | `Oracle -> Sta.oracle_factory design th
+            | `Synthetic -> Sta.synthetic_factory ()
+          in
+          let g = Design.graph design in
+          Printf.printf "design %s: %d cells, %d nets, %d levels\n" name
+            (Graph.cell_count g) (Graph.net_count g) (Graph.level_count g);
+          let ir =
+            Sta.build_ir ~mode ~models:factory.Sta.models ~thresholds:th
+              design ~pi
+          in
+          ignore (Sta.reanalyze ir : Timing.stats);
+          let show_results () =
+            let report = Sta.report ir in
+            Printf.printf "arrivals:\n";
+            List.iter
+              (fun (net, (a : Sta.arrival)) ->
+                Printf.printf "  %-14s %8.1f ps  slew %7.1f ps  %s\n" net
+                  (ps a.Sta.time) (ps a.Sta.slew) (edge_name a.Sta.edge))
+              report.Sta.arrivals;
+            (match report.Sta.critical_po with
+             | None -> Printf.printf "no primary output switches\n"
+             | Some (po, a) ->
+               Printf.printf "critical output: %s at %.1f ps\n" po
+                 (ps a.Sta.time);
+               List.iteri
+                 (fun i (p : Sta.path) ->
+                   Printf.printf "path #%d (%8.1f ps): %s\n" (i + 1)
+                     (ps p.Sta.path_arrival)
+                     (String.concat " <- " p.Sta.path_nets))
+                 (Sta.worst_paths ir ~po ~k:paths_k));
+            match required_ps with
+            | None -> ()
+            | Some req ->
+              Printf.printf "slacks (required %.1f ps):\n" req;
+              List.iter
+                (fun (net, slack) ->
+                  Printf.printf "  %-14s %+8.1f ps\n" net (ps slack))
+                (Sta.po_slacks design (Sta.report ir)
+                   ~required:(req *. 1e-12))
+          in
+          show_results ();
+          let eco_ok =
+            if ecos = [] then true
+            else begin
+              let stats = Sta.update ir ecos in
+              Printf.printf
+                "\nECO: re-evaluated %d of %d cells (%d changed)\n"
+                stats.Timing.evaluated stats.Timing.total_cells
+                stats.Timing.changed;
+              show_results ();
+              if not verify_eco then true
+              else begin
+                let pi' = List.fold_left apply_eco_to_pi pi ecos in
+                let fresh =
+                  Sta.build_ir ~mode ~models:factory.Sta.models
+                    ~thresholds:th design ~pi:pi'
+                in
+                ignore (Sta.reanalyze fresh : Timing.stats);
+                let same = report_eq (Sta.report ir) (Sta.report fresh) in
+                Printf.printf "incremental vs full re-analysis: %s\n"
+                  (if same then "bit-identical" else "MISMATCH");
+                same
+              end
+            end
+          in
+          let cs = factory.Sta.factory_stats () in
+          Printf.printf "model cache: %d hits, %d misses, %d entries\n"
+            cs.Memo_cache.hits cs.Memo_cache.misses cs.Memo_cache.entries;
+          if eco_ok then 0 else 1
+        end))
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
 
 open Cmdliner
@@ -409,6 +604,89 @@ let lint_cmd =
     Term.(
       const run_lint $ files $ format $ fail_on $ fanout_limit $ codes)
 
+let sta_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Netlist (.ntl) to analyze.")
+  in
+  let pi =
+    Arg.(
+      value & opt_all string []
+      & info [ "pi" ] ~docv:"EVENT"
+          ~doc:
+            "Primary-input event as net:edge:tau_ps:cross_ps (repeatable), \
+             e.g. --pi a:fall:500:0.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("classic", Sta.Classic);
+               ("proximity", Sta.Proximity);
+               ("jun", Sta.Collapsed Collapse.Jun);
+               ("nabavi-lishi", Sta.Collapsed Collapse.Nabavi_lishi) ])
+          Sta.Proximity
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Propagation mode: classic (latest single-input response), \
+             proximity (the paper's algorithm, default), jun or \
+             nabavi-lishi (collapse-to-inverter baselines on the golden \
+             simulator).")
+  in
+  let models =
+    Arg.(
+      value
+      & opt (enum [ ("oracle", `Oracle); ("synthetic", `Synthetic) ]) `Oracle
+      & info [ "models" ] ~docv:"KIND"
+          ~doc:
+            "Cell models: oracle (golden-simulator backed, default) or \
+             synthetic (fast analytic stand-ins, for flow experiments).")
+  in
+  let paths =
+    Arg.(
+      value & opt int 1
+      & info [ "paths" ] ~docv:"K"
+          ~doc:"Enumerate the K worst paths to the critical output.")
+  in
+  let required =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "required" ] ~docv:"PS"
+          ~doc:"Required arrival time; prints per-output slacks.")
+  in
+  let eco =
+    Arg.(
+      value & opt_all string []
+      & info [ "eco" ] ~docv:"EDIT"
+          ~doc:
+            "Apply an engineering change order after the initial analysis \
+             and re-analyze incrementally (repeatable): \
+             pi:NET:EDGE:TAU_PS:CROSS_PS re-times a primary input, \
+             pi:NET:quiet silences one, cell:NAME marks a cell \
+             re-characterized.")
+  in
+  let verify_eco =
+    Arg.(
+      value & flag
+      & info [ "verify-eco" ]
+          ~doc:
+            "After the incremental update, rerun a full analysis of the \
+             edited design and fail unless the two agree bit-for-bit.")
+  in
+  Cmd.v
+    (Cmd.info "sta"
+       ~doc:
+         "Static timing analysis of a netlist: arrivals, K-worst paths, \
+          slacks, incremental (ECO) re-analysis")
+    Term.(
+      const (fun () f p m k pk r e v -> run_sta f p m k pk r e v)
+      $ domains_setup $ file $ pi $ mode $ models $ paths $ required $ eco
+      $ verify_eco)
+
 let storage_cmd =
   let fan_in = Arg.(value & opt int 3 & info [ "fan-in" ]) in
   let points = Arg.(value & opt int 10 & info [ "points" ]) in
@@ -419,6 +697,7 @@ let () =
   let doc = "temporal-proximity gate delay modeling (DAC'96 reproduction)" in
   let main =
     Cmd.group (Cmd.info "proxim" ~version:"1.0.0" ~doc)
-      [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; storage_cmd; lint_cmd ]
+      [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; sta_cmd; storage_cmd;
+        lint_cmd ]
   in
   exit (Cmd.eval' main)

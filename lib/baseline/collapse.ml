@@ -30,6 +30,7 @@ type prediction = {
   out_transition : float;
   wn_eq : float;
   wp_eq : float;
+  ref_pin : int;
 }
 
 (* Series/parallel width reduction.  [conducts pin] decides whether a
@@ -112,21 +113,25 @@ let switching_assist gate ~switching ~edge =
 let equivalent_event variant gate ~switching ~edge
     ~(events : Proximity.event list) =
   let assist = switching_assist gate ~switching ~edge in
+  (* the critical input: earliest crossing when the switching transistors
+     assist each other, latest when they gate each other — the input the
+     equivalent-inverter response is referenced to *)
+  let pick better =
+    match events with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun (acc : Proximity.event) (e : Proximity.event) ->
+          if better e.Proximity.cross_time acc.Proximity.cross_time then e
+          else acc)
+        first rest
+  in
+  let critical = if assist then pick ( < ) else pick ( > ) in
   match variant with
   | Jun ->
     (* the critical input alone defines the waveform *)
-    let pick better =
-      match events with
-      | [] -> assert false
-      | first :: rest ->
-        List.fold_left
-          (fun (acc : Proximity.event) (e : Proximity.event) ->
-            if better e.Proximity.cross_time acc.Proximity.cross_time then e
-            else acc)
-          first rest
-    in
-    let critical = if assist then pick ( < ) else pick ( > ) in
-    (critical.Proximity.tau, critical.Proximity.cross_time)
+    (critical.Proximity.tau, critical.Proximity.cross_time,
+     critical.Proximity.pin)
   | Nabavi_lishi ->
     (* blend the switching inputs: average transition time, crossing
        weighted by slew rate (faster inputs contribute current sooner) *)
@@ -143,7 +148,7 @@ let equivalent_event variant gate ~switching ~edge
           (ws +. w, ts +. (w *. e.Proximity.cross_time)))
         (0., 0.) events
     in
-    (tau_eq, twsum /. wsum)
+    (tau_eq, twsum /. wsum, critical.Proximity.pin)
 
 let predict ?opts ?load variant gate th ~events =
   let edge =
@@ -156,7 +161,9 @@ let predict ?opts ?load variant gate th ~events =
   in
   let switching = List.map (fun (e : Proximity.event) -> e.Proximity.pin) events in
   let wn_eq, wp_eq = equivalent_widths gate ~switching ~edge in
-  let tau_eq, cross_eq = equivalent_event variant gate ~switching ~edge ~events in
+  let tau_eq, cross_eq, ref_pin =
+    equivalent_event variant gate ~switching ~edge ~events
+  in
   let load = match load with Some l -> l | None -> gate.Gate.load in
   let inv = Gate.inverter ~wn:wn_eq ~wp:wp_eq ~load gate.Gate.tech in
   let stim = { Measure.edge; tau = tau_eq; cross_time = cross_eq } in
@@ -188,4 +195,4 @@ let predict ?opts ?load variant gate th ~events =
         (Prediction_failed
            { gate = gate.Gate.name; failure = Transition_incomplete })
   in
-  { out_cross; out_transition; wn_eq; wp_eq }
+  { out_cross; out_transition; wn_eq; wp_eq; ref_pin }

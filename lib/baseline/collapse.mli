@@ -46,6 +46,13 @@ type prediction = {
   out_transition : float;  (** predicted output transition time, s *)
   wn_eq : float;  (** equivalent inverter NMOS width, m *)
   wp_eq : float;  (** equivalent inverter PMOS width, m *)
+  ref_pin : int;
+      (** the critical input the prediction is referenced to: the
+          earliest-crossing switching pin when the switching transistors
+          assist each other, the latest otherwise.  For {!Jun} this is the
+          pin whose waveform became the equivalent waveform; for
+          {!Nabavi_lishi} the blend is anchored to it.  The STA layer uses
+          it as the path predecessor of the collapsed-baseline mode. *)
 }
 
 val equivalent_widths :

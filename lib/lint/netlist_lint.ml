@@ -1,4 +1,5 @@
 module Gate = Proxim_gates.Gate
+module Graph = Proxim_timing.Graph
 module Netlist_text = Proxim_sta.Netlist_text
 
 type options = { fanout_limit : int }
@@ -110,42 +111,36 @@ let check_raw ?(options = default_options) ?file (raw : Netlist_text.raw) =
               input"
              net))
     raw.Netlist_text.raw_outputs;
-  (* PX106: combinational cycles.  DFS over the driver graph keyed by
-     output net; every back edge reports the cycle it closes once. *)
-  let state : (string, [ `Active | `Done ]) Hashtbl.t = Hashtbl.create 16 in
-  let rec visit (c : Netlist_text.raw_cell) path =
-    let net = c.Netlist_text.output in
-    match Hashtbl.find_opt state net with
-    | Some `Done -> ()
-    | Some `Active ->
-      (* [path] holds the cells between here and the cycle entry *)
-      let cycle =
-        let rec upto acc = function
-          | [] -> List.rev acc
-          | (p : Netlist_text.raw_cell) :: tl ->
-            if p.Netlist_text.output = net then List.rev (p :: acc)
-            else upto (p :: acc) tl
-        in
-        upto [] path
-      in
+  (* PX106: combinational cycles, found by the shared graph algorithms
+     (Proxim_timing.Graph.cycles): DFS over reader -> driver edges, one
+     diagnostic per back edge.  The first declared driver of a net wins,
+     matching the PX103 arbitration above, so broken netlists still get a
+     deterministic cycle report. *)
+  let cell_arr = Array.of_list cells in
+  let n_cells = Array.length cell_arr in
+  let driver_idx : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (c : Netlist_text.raw_cell) ->
+      if not (Hashtbl.mem driver_idx c.Netlist_text.output) then
+        Hashtbl.add driver_idx c.Netlist_text.output i)
+    cell_arr;
+  let fanin i =
+    List.filter_map
+      (fun net -> Hashtbl.find_opt driver_idx net)
+      cell_arr.(i).Netlist_text.inputs
+  in
+  List.iter
+    (fun (entry, members) ->
+      let entry_cell = cell_arr.(entry) in
       let names =
-        List.rev_map (fun (p : Netlist_text.raw_cell) -> p.Netlist_text.cell_name) cycle
+        List.map (fun i -> cell_arr.(i).Netlist_text.cell_name) members
       in
       add
-        (mk ~line:c.Netlist_text.line ~context:c.Netlist_text.cell_name PX106
+        (mk ~line:entry_cell.Netlist_text.line
+           ~context:entry_cell.Netlist_text.cell_name PX106
            "combinational cycle: %s"
-           (String.concat " -> " (names @ [ List.hd names ])))
-    | None ->
-      Hashtbl.replace state net `Active;
-      List.iter
-        (fun input ->
-          match Hashtbl.find_opt driver input with
-          | Some d -> visit d (c :: path)
-          | None -> ())
-        c.Netlist_text.inputs;
-      Hashtbl.replace state net `Done
-  in
-  List.iter (fun c -> visit c []) cells;
+           (String.concat " -> " (names @ [ List.hd names ]))))
+    (Graph.cycles ~n:n_cells ~succ:fanin ~roots:(List.init n_cells Fun.id));
   (* PX110: cell outputs nobody consumes *)
   List.iter
     (fun (c : Netlist_text.raw_cell) ->
@@ -180,25 +175,46 @@ let check_raw ?(options = default_options) ?file (raw : Netlist_text.raw) =
               characterized tables get unreliable out here"
              net n options.fanout_limit))
     readers;
-  (* PX113: primary outputs no primary-input event can ever reach.  A
-     cell output becomes reachable when at least one of its inputs is. *)
-  let reachable = Hashtbl.create 16 in
-  List.iter (fun net -> Hashtbl.replace reachable net ()) pis;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun (c : Netlist_text.raw_cell) ->
-        if not (Hashtbl.mem reachable c.Netlist_text.output) then
-          if List.exists (Hashtbl.mem reachable) c.Netlist_text.inputs then begin
-            Hashtbl.replace reachable c.Netlist_text.output ();
-            changed := true
-          end)
-      cells
-  done;
+  (* PX113: primary outputs no primary-input event can ever reach —
+     forward reachability (Proxim_timing.Graph.reachable) over
+     input-net -> output-net edges from the primary inputs.  Nets are
+     interned on the fly since a broken netlist has no arena yet. *)
+  let net_idx : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let n_nets = ref 0 in
+  let net_succ : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let intern net =
+    match Hashtbl.find_opt net_idx net with
+    | Some i -> i
+    | None ->
+      let i = !n_nets in
+      incr n_nets;
+      Hashtbl.add net_idx net i;
+      i
+  in
+  let pi_roots = List.map intern pis in
+  List.iter
+    (fun (c : Netlist_text.raw_cell) ->
+      let out = intern c.Netlist_text.output in
+      List.iter
+        (fun input ->
+          let i = intern input in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt net_succ i) in
+          Hashtbl.replace net_succ i (out :: cur))
+        c.Netlist_text.inputs)
+    cells;
+  let net_reachable =
+    Graph.reachable ~n:!n_nets
+      ~succ:(fun i -> Option.value ~default:[] (Hashtbl.find_opt net_succ i))
+      ~roots:pi_roots
+  in
   List.iter
     (fun (net, line) ->
-      if driven net && not (Hashtbl.mem reachable net) then
+      let unreachable =
+        match Hashtbl.find_opt net_idx net with
+        | Some i -> not net_reachable.(i)
+        | None -> true
+      in
+      if driven net && unreachable then
         add
           (mk ~line ~context:net PX113
              "primary output %S is unreachable from every primary input" net))

@@ -34,6 +34,89 @@ let merge_stats (a : Memo_cache.stats) (b : Memo_cache.stats) =
     entries = a.Memo_cache.entries + b.Memo_cache.entries;
   }
 
+let synthetic ?(seed = 0) ?(spread = 0.1) ?(work = 0) gate =
+  let cache = Memo_cache.create ~shards:4 () in
+  let jitter key =
+    (* deterministic per-(gate, seed, key) value in [0, 1) *)
+    let h = Hashtbl.hash (gate.Gate.name, seed, key) in
+    float_of_int (h land 0xffff) /. 65536.
+  in
+  let spin x =
+    (* optional artificial evaluation cost: a pure float loop folded into
+       the result at zero weight so it cannot be dead-code eliminated *)
+    if work = 0 then x
+    else begin
+      let acc = ref 1e-3 in
+      for i = 1 to work do
+        acc := !acc +. (1. /. float_of_int (i + (i mod 7)))
+      done;
+      x +. (0. *. !acc)
+    end
+  in
+  let q key compute = Memo_cache.find_or_compute cache key compute in
+  let assist_of ~edge ~pins =
+    Gate.switching_assist gate ~pins ~output_rising:(edge = Measure.Fall)
+  in
+  let base ~pin ~edge =
+    let e = match edge with Measure.Rise -> 0 | Measure.Fall -> 1 in
+    80e-12
+    *. (1. +. (0.09 *. float_of_int pin))
+    *. (1. +. (0.12 *. float_of_int e))
+    *. (1. +. (spread *. (jitter (pin, e) -. 0.5)))
+  in
+  let d1 ~pin ~edge ~tau = base ~pin ~edge +. (0.30 *. tau) in
+  let t1 ~pin ~edge ~tau = (1.25 *. base ~pin ~edge) +. (0.55 *. tau) in
+  let window = 120e-12 in
+  let strength other tau_other =
+    0.35
+    *. (1. +. (0.05 *. float_of_int other))
+    *. (1. +. (0.1 *. (tau_other /. (tau_other +. window))))
+  in
+  (* proximity influence of the other input at equivalent separation
+     [sep]: for assisting (parallel) inputs it saturates to 1 as the
+     other input moves earlier and to 0 as it moves far later; for gating
+     (series) inputs it peaks at simultaneity and decays either way *)
+  let influence ~assist ~sep =
+    if assist then 0.5 *. (1. -. tanh (sep /. window))
+    else 1. /. (1. +. ((sep /. window) ** 2.))
+  in
+  {
+    fan_in = gate.Gate.fan_in;
+    name = Printf.sprintf "synthetic:%s#%d" gate.Gate.name seed;
+    cache_stats = (fun () -> Memo_cache.stats cache);
+    assist = (fun ~edge ~pins -> assist_of ~edge ~pins);
+    delay1 =
+      (fun ~pin ~edge ~tau ->
+        q (`D1 (pin, edge, tau)) (fun () -> spin (d1 ~pin ~edge ~tau)));
+    trans1 =
+      (fun ~pin ~edge ~tau ->
+        q (`T1 (pin, edge, tau)) (fun () -> spin (t1 ~pin ~edge ~tau)));
+    delay2 =
+      (fun ~dom ~other ~edge ~tau_dom ~tau_other ~sep ->
+        q
+          (`D2 (dom, other, edge, tau_dom, tau_other, sep))
+          (fun () ->
+            let assist = assist_of ~edge ~pins:[ dom; other ] in
+            let infl = influence ~assist ~sep in
+            let k = strength other tau_other in
+            let d = d1 ~pin:dom ~edge ~tau:tau_dom in
+            spin
+              (if assist then d *. (1. -. (k *. infl))
+               else d *. (1. +. (k *. infl)))));
+    trans2 =
+      (fun ~dom ~other ~edge ~tau_dom ~tau_other ~sep ->
+        q
+          (`T2 (dom, other, edge, tau_dom, tau_other, sep))
+          (fun () ->
+            let assist = assist_of ~edge ~pins:[ dom; other ] in
+            let infl = influence ~assist ~sep in
+            let k = 0.6 *. strength other tau_other in
+            let t = t1 ~pin:dom ~edge ~tau:tau_dom in
+            spin
+              (if assist then t *. (1. -. (k *. infl))
+               else t *. (1. +. (k *. infl)))));
+  }
+
 let of_oracle ?opts ?load gate th =
   let single_cache = Memo_cache.create () in
   let dual_cache = Memo_cache.create () in

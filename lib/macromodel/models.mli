@@ -45,6 +45,34 @@ type t = {
       (** [tau_out^(2)] with respect to the dominant input, s *)
 }
 
+val merge_stats :
+  Proxim_util.Memo_cache.stats ->
+  Proxim_util.Memo_cache.stats ->
+  Proxim_util.Memo_cache.stats
+(** Pointwise sum of two counter records — the combinator behind every
+    [cache_stats] closure here, exported so model factories (and the CLI)
+    can aggregate statistics across many models. *)
+
+val synthetic : ?seed:int -> ?spread:float -> ?work:int -> Proxim_gates.Gate.t -> t
+(** Purely analytic models: smooth closed-form single- and dual-input
+    responses with the right qualitative shape (positive delays, slew
+    dependence, assisting inputs speeding the response up and gating
+    inputs slowing it down, influence saturating with separation) but no
+    transient simulation behind them.  Micro-second-cheap and fully
+    deterministic, which is what the randomized incremental-vs-full
+    equivalence suite and the ECO benchmark need — thousands of analyses
+    with none of the simulator's cost.  Not calibrated to any technology;
+    never use them for accuracy experiments.
+
+    [seed] perturbs the per-pin base delays (so swapping
+    [synthetic ~seed:1] for [synthetic ~seed:2] models a
+    re-characterized library), [spread] scales that perturbation, and
+    [work] adds an artificial per-query evaluation cost (a pure float
+    loop) for benchmarks that want model evaluation to dominate.  Queries
+    are memoized through a real domain-safe {!Proxim_util.Memo_cache}, so
+    [cache_stats] reports live hit/miss counters exactly like the
+    simulator-backed models. *)
+
 val of_oracle :
   ?opts:Proxim_spice.Options.t ->
   ?load:float ->

@@ -1,4 +1,5 @@
 module Gate = Proxim_gates.Gate
+module Graph = Proxim_timing.Graph
 
 type cell = {
   name : string;
@@ -11,9 +12,7 @@ type t = {
   cell_list : cell list;
   pis : string list;
   pos : string list;
-  driver_tbl : (string, cell) Hashtbl.t;
-  reader_tbl : (string, (cell * int) list) Hashtbl.t;
-  topo : cell list;
+  graph : cell Graph.t;
 }
 
 let create ~cells:cell_list ~primary_inputs:pis ~primary_outputs:pos =
@@ -35,65 +34,61 @@ let create ~cells:cell_list ~primary_inputs:pis ~primary_outputs:pos =
         invalid_arg ("Design.create: primary input driven: " ^ c.output_net);
       Hashtbl.add driver_tbl c.output_net c)
     cell_list;
-  let reader_tbl = Hashtbl.create 16 in
+  (* every read net must be driven or be a primary input *)
   List.iter
     (fun c ->
-      Array.iteri
-        (fun pin net ->
-          let cur =
-            Option.value ~default:[] (Hashtbl.find_opt reader_tbl net)
-          in
-          Hashtbl.replace reader_tbl net ((c, pin) :: cur))
+      Array.iter
+        (fun net ->
+          if (not (Hashtbl.mem driver_tbl net)) && not (List.mem net pis) then
+            invalid_arg ("Design.create: undriven net " ^ net))
         c.input_nets)
     cell_list;
-  (* every read net must be driven or be a primary input *)
-  Hashtbl.iter
-    (fun net _ ->
-      if (not (Hashtbl.mem driver_tbl net)) && not (List.mem net pis) then
-        invalid_arg ("Design.create: undriven net " ^ net))
-    reader_tbl;
   List.iter
     (fun net ->
       if (not (Hashtbl.mem driver_tbl net)) && not (List.mem net pis) then
         invalid_arg ("Design.create: undriven primary output " ^ net))
     pos;
-  (* topological order by DFS from outputs; cycle detection *)
-  let topo = ref [] in
-  let state = Hashtbl.create 16 in
-  let rec visit c =
-    match Hashtbl.find_opt state c.name with
-    | Some `Done -> ()
-    | Some `Active ->
-      invalid_arg ("Design.create: combinational cycle through " ^ c.name)
-    | None ->
-      Hashtbl.add state c.name `Active;
-      Array.iter
-        (fun net ->
-          match Hashtbl.find_opt driver_tbl net with
-          | Some d -> visit d
-          | None -> ())
-        c.input_nets;
-      Hashtbl.replace state c.name `Done;
-      topo := c :: !topo
+  let graph =
+    try
+      Graph.build
+        ~cells:
+          (List.map
+             (fun c ->
+               {
+                 Graph.spec_name = c.name;
+                 spec_payload = c;
+                 spec_inputs = c.input_nets;
+                 spec_output = c.output_net;
+               })
+             cell_list)
+        ~primary_inputs:pis ~primary_outputs:pos
+    with Graph.Cycle { through } ->
+      invalid_arg ("Design.create: combinational cycle through " ^ through)
   in
-  List.iter visit cell_list;
-  {
-    cell_list;
-    pis;
-    pos;
-    driver_tbl;
-    reader_tbl;
-    topo = List.rev !topo;
-  }
+  { cell_list; pis; pos; graph }
 
 let cells t = t.cell_list
 let primary_inputs t = t.pis
 let primary_outputs t = t.pos
-let topological t = t.topo
+let graph t = t.graph
 
-let readers t ~net = Option.value ~default:[] (Hashtbl.find_opt t.reader_tbl net)
+let topological t =
+  Array.to_list (Array.map (Graph.payload t.graph) (Graph.topological t.graph))
 
-let driver t ~net = Hashtbl.find_opt t.driver_tbl net
+let readers t ~net =
+  match Graph.net_id t.graph net with
+  | None -> []
+  | Some id ->
+    Array.to_list
+      (Array.map
+         (fun (c, pin) -> (Graph.payload t.graph c, pin))
+         (Graph.readers t.graph ~net:id))
+
+let driver t ~net =
+  match Graph.net_id t.graph net with
+  | None -> None
+  | Some id ->
+    Option.map (Graph.payload t.graph) (Graph.driver t.graph ~net:id)
 
 let default_wire_cap = 20e-15
 let pad_cap = 50e-15

@@ -41,3 +41,9 @@ val driver : t -> net:string -> cell option
 
 val readers : t -> net:string -> (cell * int) list
 (** Cells (with the pin index) reading [net]. *)
+
+val graph : t -> cell Proxim_timing.Graph.t
+(** The design's timing-graph IR: interned nets and cells with adjacency,
+    topological order and levels.  {!topological}, {!driver} and
+    {!readers} are views over it; the {!Sta} propagation engines and the
+    incremental timing analysis annotate it directly. *)

@@ -2,10 +2,18 @@ module Gate = Proxim_gates.Gate
 module Measure = Proxim_measure.Measure
 module Models = Proxim_macromodel.Models
 module Proximity = Proxim_core.Proximity
+module Collapse = Proxim_baseline.Collapse
 module Pool = Proxim_util.Pool
 module Memo_cache = Proxim_util.Memo_cache
+module Graph = Proxim_timing.Graph
+module Timing = Proxim_timing.Timing
+module Paths = Proxim_timing.Paths
 
-type arrival = { time : float; slew : float; edge : Measure.edge }
+type arrival = Timing.arrival = {
+  time : float;
+  slew : float;
+  edge : Measure.edge;
+}
 
 exception Mixed_input_edges of { cell : string }
 
@@ -19,7 +27,7 @@ let () =
            cell)
     | _ -> None)
 
-type mode = Classic | Proximity
+type mode = Classic | Proximity | Collapsed of Collapse.variant
 
 type report = {
   arrivals : (string * arrival) list;
@@ -27,67 +35,138 @@ type report = {
   predecessors : (string * string) list;
 }
 
+(* ---- propagation engines over the timing-graph IR ---- *)
+
+let check_edges cell (inputs : Timing.input list) =
+  match inputs with
+  | [] -> None
+  | { Timing.in_arrival = first; _ } :: rest ->
+    if
+      List.exists
+        (fun (i : Timing.input) -> i.Timing.in_arrival.edge <> first.edge)
+        rest
+    then raise (Mixed_input_edges { cell = cell.Design.name });
+    Some first.edge
+
+let events_of_inputs inputs =
+  List.map
+    (fun (i : Timing.input) ->
+      {
+        Proximity.pin = i.Timing.in_pin;
+        edge = i.Timing.in_arrival.edge;
+        tau = i.Timing.in_arrival.slew;
+        cross_time = i.Timing.in_arrival.time;
+      })
+    inputs
+
+(* Per-pin would-be responses: the output arrival had this pin set the
+   timing alone (the classic single-input view).  The winner's entry is
+   overwritten with the actual output arrival, so the K-worst enumeration
+   reproduces the reported arrival exactly on the top path. *)
+let candidates_of (m : Models.t) ~edge ~out_time ~winner inputs =
+  Array.of_list
+    (List.map
+       (fun (i : Timing.input) ->
+         let would_be =
+           if i.Timing.in_pin = winner then out_time
+           else
+             i.Timing.in_arrival.time
+             +. m.Models.delay1 ~pin:i.Timing.in_pin ~edge
+                  ~tau:i.Timing.in_arrival.slew
+         in
+         {
+           Timing.pin = i.Timing.in_pin;
+           from_net = i.Timing.in_net;
+           would_be;
+         })
+       inputs)
+
 (* latest single-input response wins; its transition time becomes the
    output slew, and the winning pin becomes the path predecessor *)
-let propagate_classic (models : Models.t) ~edge events =
+let classic_verdict (m : Models.t) ~edge ~slew_scale inputs =
   let responses =
     List.map
-      (fun (e : Proximity.event) ->
+      (fun (i : Timing.input) ->
         let d =
-          models.Models.delay1 ~pin:e.Proximity.pin ~edge ~tau:e.Proximity.tau
+          m.Models.delay1 ~pin:i.Timing.in_pin ~edge
+            ~tau:i.Timing.in_arrival.slew
         in
         let t =
-          models.Models.trans1 ~pin:e.Proximity.pin ~edge ~tau:e.Proximity.tau
+          m.Models.trans1 ~pin:i.Timing.in_pin ~edge
+            ~tau:i.Timing.in_arrival.slew
         in
-        (e.Proximity.cross_time +. d, t, e.Proximity.pin))
-      events
+        (i.Timing.in_arrival.time +. d, t, i.Timing.in_pin))
+      inputs
   in
-  match responses with
-  | [] -> assert false
-  | first :: rest ->
-    List.fold_left
-      (fun ((bt, _, _) as best) ((t, _, _) as r) -> if t > bt then r else best)
-      first rest
+  let time, slew, winner =
+    match responses with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun ((bt, _, _) as best) ((t, _, _) as r) ->
+          if t > bt then r else best)
+        first rest
+  in
+  let out = { time; slew = slew *. slew_scale; edge = Measure.opposite edge } in
+  {
+    Timing.out;
+    winner;
+    candidates = candidates_of m ~edge ~out_time:time ~winner inputs;
+  }
 
-let propagate_proximity (models : Models.t) events =
-  let r = Proximity.evaluate models events in
-  ( r.Proximity.ref_cross +. r.Proximity.delay,
-    r.Proximity.out_transition,
-    r.Proximity.ref_pin )
+let proximity_verdict (m : Models.t) ~edge ~slew_scale inputs =
+  let r = Proximity.evaluate m (events_of_inputs inputs) in
+  let time = r.Proximity.ref_cross +. r.Proximity.delay in
+  let out =
+    {
+      time;
+      slew = r.Proximity.out_transition *. slew_scale;
+      edge = Measure.opposite edge;
+    }
+  in
+  let winner = r.Proximity.ref_pin in
+  {
+    Timing.out;
+    winner;
+    candidates = candidates_of m ~edge ~out_time:time ~winner inputs;
+  }
 
-(* Topological levels: every cell's inputs are driven by strictly lower
-   levels, so the cells of one level can be timed concurrently once the
-   previous levels have been applied.  Within a level the original
-   topological order is kept, which makes the report deterministic. *)
-let levelize design =
-  let cell_level = Hashtbl.create 32 in  (* output net -> level *)
-  let level_of cell =
-    Array.fold_left
-      (fun acc net ->
-        match Hashtbl.find_opt cell_level net with
-        | Some l -> max acc (l + 1)
-        | None -> acc  (* primary input: level 0 *))
-      0 cell.Design.input_nets
+(* The collapsed baseline has no per-pin macromodel to rank alternatives
+   with, so every candidate carries the predicted arrival (degenerate
+   would-be responses): the enumerated paths follow the ref pins but the
+   near-critical alternatives are not differentiated. *)
+let collapsed_verdict variant ~design ~thresholds ~slew_scale cell ~edge inputs
+    =
+  let load =
+    Design.fanout_load design ~net:cell.Design.output_net
   in
-  let rec group current current_level acc = function
-    | [] -> List.rev (List.rev current :: acc)
-    | (cell, l) :: tl ->
-      if l = current_level then group (cell :: current) current_level acc tl
-      else group [ cell ] l (List.rev current :: acc) tl
+  let p =
+    Collapse.predict ~load variant cell.Design.gate thresholds
+      ~events:(events_of_inputs inputs)
   in
-  let leveled =
-    List.map
-      (fun cell ->
-        let l = level_of cell in
-        Hashtbl.replace cell_level cell.Design.output_net l;
-        (cell, l))
-      (Design.topological design)
+  let out =
+    {
+      time = p.Collapse.out_cross;
+      slew = p.Collapse.out_transition *. slew_scale;
+      edge = Measure.opposite edge;
+    }
   in
-  match leveled with
-  | [] -> []
-  | (_, l0) :: _ -> group [] l0 [] leveled |> List.filter (( <> ) [])
+  {
+    Timing.out;
+    winner = p.Collapse.ref_pin;
+    candidates =
+      Array.of_list
+        (List.map
+           (fun (i : Timing.input) ->
+             {
+               Timing.pin = i.Timing.in_pin;
+               from_net = i.Timing.in_net;
+               would_be = p.Collapse.out_cross;
+             })
+           inputs);
+  }
 
-let analyze ?(mode = Proximity) ?pool ~models ~thresholds design ~pi =
+let make_engine ~mode ~models ~thresholds ~design : Design.cell Timing.engine =
   (* macromodels consume full-swing ramp widths; measured output
      transitions span Vil..Vih only, so scale them up when they become the
      next stage's input slew *)
@@ -95,103 +174,163 @@ let analyze ?(mode = Proximity) ?pool ~models ~thresholds design ~pi =
     let th : Proxim_vtc.Vtc.thresholds = thresholds in
     th.Proxim_vtc.Vtc.vdd /. (th.Proxim_vtc.Vtc.vih -. th.Proxim_vtc.Vtc.vil)
   in
-  let net_arrival : (string, arrival) Hashtbl.t = Hashtbl.create 32 in
-  List.iter (fun (net, a) -> Hashtbl.replace net_arrival net a) pi;
-  let order = ref [] in
-  let preds = ref [] in
-  (* Time one cell from the already-applied arrivals.  Pure with respect
-     to [net_arrival] (read-only), so the cells of one topological level
-     can be computed concurrently; their model queries go through the
-     domain-safe memo caches of the factory. *)
-  let compute cell =
-    let events =
-      Array.to_list cell.Design.input_nets
-      |> List.mapi (fun pin net ->
-           Option.map
-             (fun a ->
-               ( {
-                   Proximity.pin;
-                   edge = a.edge;
-                   tau = a.slew;
-                   cross_time = a.time;
-                 },
-                 net ))
-             (Hashtbl.find_opt net_arrival net))
-      |> List.filter_map Fun.id
-    in
-    match events with
-    | [] -> None  (* fully quiet cell *)
-    | ((first : Proximity.event), _) :: rest ->
-      if
-        List.exists
-          (fun ((e : Proximity.event), _) ->
-            e.Proximity.edge <> first.Proximity.edge)
-          rest
-      then raise (Mixed_input_edges { cell = cell.Design.name });
-      let edge = first.Proximity.edge in
-      let m = models cell in
-      let plain_events = List.map fst events in
-      let time, slew, pin =
-        match mode with
-        | Classic -> propagate_classic m ~edge plain_events
-        | Proximity -> propagate_proximity m plain_events
-      in
-      let out =
-        { time; slew = slew *. slew_scale; edge = Measure.opposite edge }
-      in
-      let pred_net =
-        match
-          List.find_opt
-            (fun ((e : Proximity.event), _) -> e.Proximity.pin = pin)
-            events
-        with
-        | Some (_, net) -> net
-        | None -> assert false
-      in
-      Some (out, pred_net)
+  fun cell inputs ->
+    match check_edges cell inputs with
+    | None -> None (* fully quiet cell *)
+    | Some edge ->
+      Some
+        (match mode with
+        | Classic -> classic_verdict (!models cell) ~edge ~slew_scale inputs
+        | Proximity ->
+          proximity_verdict (!models cell) ~edge ~slew_scale inputs
+        | Collapsed variant ->
+          collapsed_verdict variant ~design ~thresholds ~slew_scale cell ~edge
+            inputs)
+
+(* ---- the analysis state ---- *)
+
+type ir = {
+  design : Design.t;
+  timing : Design.cell Timing.t;
+  ir_mode : mode;
+  models : (Design.cell -> Models.t) ref;
+}
+
+let set_pi ir (net, a) =
+  match Graph.net_id (Design.graph ir.design) net with
+  | None -> () (* a pi event for a net the design never mentions is inert *)
+  | Some id -> Timing.set_source ir.timing ~net:id (Some a)
+
+let build_ir ?(mode = Proximity) ~models ~thresholds design ~pi =
+  let models = ref models in
+  let engine = make_engine ~mode ~models ~thresholds ~design in
+  let ir =
+    {
+      design;
+      timing = Timing.create (Design.graph design) ~engine;
+      ir_mode = mode;
+      models;
+    }
   in
-  let apply cell = function
-    | None -> ()
-    | Some (out, pred_net) ->
-      Hashtbl.replace net_arrival cell.Design.output_net out;
-      order := (cell.Design.output_net, out) :: !order;
-      preds := (cell.Design.output_net, pred_net) :: !preds
-  in
-  let pool = match pool with Some p -> p | None -> Pool.default () in
+  List.iter (set_pi ir) pi;
+  ir
+
+let design ir = ir.design
+let timing ir = ir.timing
+let mode ir = ir.ir_mode
+
+let reanalyze ?pool ir = Timing.analyze ?pool ir.timing
+
+type eco =
+  | Set_pi of string * arrival option
+  | Touch_cell of string
+
+let update ?pool ir ecos =
+  let g = Design.graph ir.design in
+  let dirty_nets = ref [] in
+  let dirty_cells = ref [] in
   List.iter
-    (fun level ->
-      let cells = Array.of_list level in
-      let results =
-        if Array.length cells = 1 then Array.map compute cells
-        else Pool.map pool compute cells
-      in
-      Array.iteri (fun i r -> apply cells.(i) r) results)
-    (levelize design);
-  let arrivals = pi @ List.rev !order in
+    (function
+      | Set_pi (net, a) -> (
+        match Graph.net_id g net with
+        | None -> invalid_arg ("Sta.update: unknown net " ^ net)
+        | Some id ->
+          Timing.set_source ir.timing ~net:id a;
+          dirty_nets := id :: !dirty_nets)
+      | Touch_cell name -> (
+        match Graph.cell_id g name with
+        | None -> invalid_arg ("Sta.update: unknown cell " ^ name)
+        | Some c -> dirty_cells := c :: !dirty_cells))
+    ecos;
+  Timing.update ?pool ir.timing ~dirty_nets:!dirty_nets
+    ~dirty_cells:!dirty_cells
+
+let swap_models ?pool ir models =
+  ir.models := models;
+  Timing.update ?pool ir.timing ~dirty_nets:[]
+    ~dirty_cells:(List.init (Graph.cell_count (Design.graph ir.design)) Fun.id)
+
+(* ---- reports ---- *)
+
+let source_arrivals ir =
+  let g = Design.graph ir.design in
+  Array.to_list (Graph.primary_inputs g)
+  |> List.filter_map (fun net ->
+       Option.map
+         (fun a -> (Graph.net_name g net, a))
+         (Timing.arrival ir.timing ~net))
+
+let derived_arrivals ir =
+  let g = Design.graph ir.design in
+  Array.to_list (Graph.topological g)
+  |> List.filter_map (fun c ->
+       Option.map
+         (fun (v : Timing.verdict) ->
+           (Graph.net_name g (Graph.cell_output g c), v.Timing.out))
+         (Timing.verdict ir.timing ~cell:c))
+
+let report_with ir ~heads =
+  let g = Design.graph ir.design in
+  let arrivals = heads @ derived_arrivals ir in
   let critical_po =
     List.fold_left
       (fun best net ->
-        match Hashtbl.find_opt net_arrival net with
+        match
+          Option.bind (Graph.net_id g net) (fun id ->
+              Timing.arrival ir.timing ~net:id)
+        with
         | None -> best
         | Some a -> (
           match best with
-          | Some (_, b) when b.time >= a.time -> best
+          | Some (_, (b : arrival)) when b.time >= a.time -> best
           | Some _ | None -> Some (net, a)))
       None
-      (Design.primary_outputs design)
+      (Design.primary_outputs ir.design)
   in
-  { arrivals; critical_po; predecessors = List.rev !preds }
+  let predecessors =
+    Array.to_list (Graph.topological g)
+    |> List.filter_map (fun c ->
+         let out = Graph.cell_output g c in
+         Option.map
+           (fun (pred, _pin) ->
+             (Graph.net_name g out, Graph.net_name g pred))
+           (Timing.predecessor ir.timing ~net:out))
+  in
+  { arrivals; critical_po; predecessors }
+
+let report ir = report_with ir ~heads:(source_arrivals ir)
+
+let analyze ?(mode = Proximity) ?pool ~models ~thresholds design ~pi =
+  let ir = build_ir ~mode ~models ~thresholds design ~pi in
+  ignore (reanalyze ?pool ir : Timing.stats);
+  (* arrivals lead with the caller's pi list verbatim, like the historical
+     hashtable-based analyzer did *)
+  report_with ir ~heads:pi
 
 let critical_path report ~po =
   if not (List.mem_assoc po report.arrivals) then []
   else begin
     let rec walk net acc =
       match List.assoc_opt net report.predecessors with
-      | None -> net :: acc  (* reached a primary input *)
+      | None -> net :: acc (* reached a primary input *)
       | Some pred -> walk pred (net :: acc)
     in
     List.rev (walk po [])
   end
+
+type path = { path_arrival : float; path_nets : string list }
+
+let worst_paths ir ~po ~k =
+  let g = Design.graph ir.design in
+  match Graph.net_id g po with
+  | None -> []
+  | Some id ->
+    Paths.k_worst ir.timing ~po:id ~k
+    |> List.map (fun (p : Paths.path) ->
+         {
+           path_arrival = p.Paths.p_arrival;
+           path_nets = Paths.nets_of_path g p;
+         })
 
 let po_slacks design report ~required =
   Design.primary_outputs design
@@ -201,26 +340,84 @@ let po_slacks design report ~required =
          (List.assoc_opt net report.arrivals))
   |> List.sort (fun (_, a) (_, b) -> compare a b)
 
-let oracle_model_factory ?opts ?wire_cap design th =
+(* ---- model factories ---- *)
+
+type factory = {
+  models : Design.cell -> Models.t;
+  factory_stats : unit -> Memo_cache.stats;
+}
+
+(* wrap a (key, build) scheme into a factory whose stats merge the
+   gate/load-bucket memo cache with the internal caches of every model it
+   has built.  The created-model list is mutex-guarded: find_or_compute
+   runs the builder outside any shard lock, and several domains may be
+   building models for distinct keys at once. *)
+let factory_of ~cache ~key_of ~build =
+  let created = ref [] in
+  let created_mutex = Mutex.create () in
+  let models cell =
+    Memo_cache.find_or_compute cache (key_of cell) (fun () ->
+        let m = build cell in
+        Mutex.protect created_mutex (fun () -> created := m :: !created);
+        m)
+  in
+  let factory_stats () =
+    let models_built = Mutex.protect created_mutex (fun () -> !created) in
+    List.fold_left
+      (fun acc (m : Models.t) ->
+        Models.merge_stats acc (m.Models.cache_stats ()))
+      (Memo_cache.stats cache) models_built
+  in
+  { models; factory_stats }
+
+(* bucket the load at 1 fF so structurally identical cells share models *)
+let load_bucket load = int_of_float ((load *. 1e15) +. 0.5)
+
+let oracle_factory ?opts ?wire_cap design th =
   let cache = Memo_cache.create ~shards:4 () in
-  fun (cell : Design.cell) ->
-    let load = Design.fanout_load ?wire_cap design ~net:cell.Design.output_net in
-    (* bucket the load at 1 fF so structurally identical cells share models *)
-    let bucket = int_of_float ((load *. 1e15) +. 0.5) in
-    let key = (cell.Design.gate.Gate.name, bucket) in
-    Memo_cache.find_or_compute cache key (fun () ->
+  factory_of ~cache
+    ~key_of:(fun (cell : Design.cell) ->
+      let load =
+        Design.fanout_load ?wire_cap design ~net:cell.Design.output_net
+      in
+      (cell.Design.gate.Gate.name, load_bucket load))
+    ~build:(fun (cell : Design.cell) ->
+      let load =
+        Design.fanout_load ?wire_cap design ~net:cell.Design.output_net
+      in
       Models.of_oracle ?opts ~load cell.Design.gate th)
 
-let table_model_factory ?opts ?wire_cap ?taus ?x_tau ?x_sep ?share_others
-    ?pool design th =
+let table_factory ?opts ?wire_cap ?taus ?x_tau ?x_sep ?share_others ?pool
+    design th =
   let cache = Memo_cache.create ~shards:4 () in
-  fun (cell : Design.cell) ->
-    let load = Design.fanout_load ?wire_cap design ~net:cell.Design.output_net in
-    let bucket = int_of_float ((load *. 1e15) +. 0.5) in
-    let key = (cell.Design.gate.Gate.name, bucket) in
-    Memo_cache.find_or_compute cache key (fun () ->
+  factory_of ~cache
+    ~key_of:(fun (cell : Design.cell) ->
+      let load =
+        Design.fanout_load ?wire_cap design ~net:cell.Design.output_net
+      in
+      (cell.Design.gate.Gate.name, load_bucket load))
+    ~build:(fun (cell : Design.cell) ->
+      let load =
+        Design.fanout_load ?wire_cap design ~net:cell.Design.output_net
+      in
       (* rebuild the tables at the cell's actual fanout load: the
          normalized single-input argument folds the load in, so the
          bucketed load only sets the table's build point *)
       let gate = { cell.Design.gate with Gate.load } in
       Models.of_tables ?opts ?taus ?x_tau ?x_sep ?share_others ?pool gate th)
+
+let synthetic_factory ?seed ?spread ?work () =
+  let cache = Memo_cache.create ~shards:4 () in
+  factory_of ~cache
+    ~key_of:(fun (cell : Design.cell) -> cell.Design.gate.Gate.name)
+    ~build:(fun (cell : Design.cell) ->
+      Models.synthetic ?seed ?spread ?work cell.Design.gate)
+
+let oracle_model_factory ?opts ?wire_cap design th =
+  (oracle_factory ?opts ?wire_cap design th).models
+
+let table_model_factory ?opts ?wire_cap ?taus ?x_tau ?x_sep ?share_others
+    ?pool design th =
+  (table_factory ?opts ?wire_cap ?taus ?x_tau ?x_sep ?share_others ?pool
+     design th)
+    .models

@@ -1,4 +1,4 @@
-(** Single-vector static timing analysis, classic and proximity-aware.
+(** Single-vector static timing analysis over the shared timing-graph IR.
 
     Every switching net carries one transition event — an arrival time (at
     the measurement threshold), a slew (full-swing equivalent transition
@@ -6,7 +6,7 @@
     every {!Proxim_gates.Gate.t}), so the output edge is the opposite of
     the input edges.
 
-    Two propagation modes:
+    Three propagation modes:
 
     - {b Classic}: each switching input is considered alone
       ([Delta^(1)]); the output arrival is the latest single-input
@@ -16,9 +16,20 @@
     - {b Proximity}: the switching inputs are fed as events to the
       {!Proxim_core.Proximity} algorithm; the output arrival is the
       dominant input's crossing plus the proximity delay, the slew the
-      composed output transition time. *)
+      composed output transition time.
+    - {b Collapsed}: the prior-art collapse-to-inverter baselines
+      ({!Proxim_baseline.Collapse}), evaluated on the golden simulator —
+      expensive, but lets the example flows compare path-level results of
+      the methods the paper improves on.
 
-type arrival = {
+    The analysis itself lives in {!Proxim_timing.Timing}: this module
+    builds the {!Design} graph, wraps each mode as a propagation
+    {!Proxim_timing.Timing.engine}, and layers the report/path/slack
+    views on top.  {!analyze} remains the one-shot entry point;
+    {!build_ir}/{!update} expose the incremental (ECO) workflow, and
+    {!worst_paths} the K-worst path enumeration. *)
+
+type arrival = Proxim_timing.Timing.arrival = {
   time : float;  (** threshold-crossing time, s *)
   slew : float;
       (** full-swing equivalent transition time, s (the [tau] the
@@ -28,13 +39,17 @@ type arrival = {
   edge : Proxim_measure.Measure.edge;
 }
 
-type mode = Classic | Proximity
+type mode =
+  | Classic
+  | Proximity
+  | Collapsed of Proxim_baseline.Collapse.variant
 
 exception Mixed_input_edges of { cell : string }
-(** Raised by {!analyze} when the switching inputs of one cell arrive with
-    inconsistent edge directions — a single-vector analysis cannot order
-    the resulting glitch.  Carries the offending cell's name; a printer
-    is registered so an uncaught exception still renders readably. *)
+(** Raised by the propagation engines when the switching inputs of one
+    cell arrive with inconsistent edge directions — a single-vector
+    analysis cannot order the resulting glitch.  Carries the offending
+    cell's name; a printer is registered so an uncaught exception still
+    renders readably. *)
 
 type report = {
   arrivals : (string * arrival) list;  (** every switching net, topo order *)
@@ -43,14 +58,16 @@ type report = {
   predecessors : (string * string) list;
       (** for every cell output net, the input net that set its timing:
           the latest single-input response in [Classic] mode, the dominant
-          input in [Proximity] mode — the edges of the critical-path
-          graph *)
+          input in [Proximity] mode, the collapse reference input in
+          [Collapsed] mode — the edges of the critical-path graph *)
 }
 
 val critical_path : report -> po:string -> string list
 (** The chain of nets from a primary input to [po], following
-    {!report.predecessors} backwards; [po] first.  Returns [[]] when [po]
-    never switched. *)
+    {!report.predecessors} backwards; [po] first.  Returns [[]] only when
+    [po] never switched; in particular, a switching [po] that is itself a
+    primary-input net (a wire fed straight through the pad ring) has no
+    predecessor and yields the singleton [[po]]. *)
 
 val po_slacks :
   Design.t -> report -> required:float -> (string * float) list
@@ -71,11 +88,144 @@ val analyze :
     cell arrive with inconsistent edges (a single-vector analysis cannot
     order a glitch).
 
-    Cells on the same topological level are timed concurrently on [pool]
-    (default: {!Proxim_util.Pool.default}); the report is bit-identical
-    to a serial analysis whatever the pool width.  [models] must then be
-    safe to call from several domains at once — the factories below are;
-    a hand-rolled factory memoizing through a plain [Hashtbl] is not. *)
+    A thin wrapper: builds a fresh {!ir} and runs {!reanalyze}.  Cells on
+    the same topological level are timed concurrently on [pool] (default:
+    {!Proxim_util.Pool.default}); the report is bit-identical to a serial
+    analysis whatever the pool width.  [models] must then be safe to call
+    from several domains at once — the factories below are; a hand-rolled
+    factory memoizing through a plain [Hashtbl] is not. *)
+
+(** {1 Incremental (ECO) analysis}
+
+    {!build_ir} captures the design, mode and model factory into a
+    reusable analysis state; {!update} re-propagates only the fanout cone
+    of an edit, with an early cutoff at cells whose recomputed verdict is
+    bit-equal to the stored one.  Because the engines are pure functions
+    of the input annotations, an updated state is bit-identical to a
+    fresh {!reanalyze} of the same configuration (property-tested). *)
+
+type ir
+(** An analysis state: the design's timing graph annotated with arrivals
+    and per-cell verdicts, plus the propagation engine for one {!mode}. *)
+
+val build_ir :
+  ?mode:mode ->
+  models:(Design.cell -> Proxim_macromodel.Models.t) ->
+  thresholds:Proxim_vtc.Vtc.thresholds ->
+  Design.t ->
+  pi:(string * arrival) list ->
+  ir
+(** Create an un-propagated state with the given primary-input events
+    applied ([pi] nets unknown to the design are ignored, like the
+    historical analyzer did).  Call {!reanalyze} to populate it. *)
+
+val design : ir -> Design.t
+val timing : ir -> Design.cell Proxim_timing.Timing.t
+(** The underlying annotated graph — for direct access to arrivals,
+    verdicts and {!Proxim_timing.Paths}. *)
+
+val mode : ir -> mode
+
+val reanalyze : ?pool:Proxim_util.Pool.t -> ir -> Proxim_timing.Timing.stats
+(** Full from-scratch propagation of the current sources and models. *)
+
+type eco =
+  | Set_pi of string * arrival option
+      (** change (or clear) a primary input's event *)
+  | Touch_cell of string
+      (** mark one cell re-characterized: its verdict is recomputed by
+          querying [models] afresh, and the change propagates through its
+          fanout cone.  Pair with a model factory whose answer for the
+          cell actually changed (e.g. {!swap_models}, or a closure over
+          mutable characterization data). *)
+
+val update :
+  ?pool:Proxim_util.Pool.t -> ir -> eco list -> Proxim_timing.Timing.stats
+(** Apply the edits and incrementally re-propagate their fanout cone.
+    The returned {!Proxim_timing.Timing.stats} report how many cells were
+    actually re-evaluated — the incremental win over {!reanalyze}.
+    Raises [Invalid_argument] on unknown net/cell names, and for
+    [Set_pi] on a cell-driven net. *)
+
+val swap_models :
+  ?pool:Proxim_util.Pool.t ->
+  ir ->
+  (Design.cell -> Proxim_macromodel.Models.t) ->
+  Proxim_timing.Timing.stats
+(** Replace the model factory wholesale (a re-characterized library) and
+    re-propagate with every cell dirty.  Structurally a full pass, but
+    the bit-equality cutoff still prunes the fanout of cells whose new
+    models answer identically. *)
+
+val report : ir -> report
+(** The classic report view of the current annotations.  [arrivals] lead
+    with the switching primary inputs in declaration order, then every
+    switching cell output in topological order. *)
+
+(** {1 K-worst paths} *)
+
+type path = {
+  path_arrival : float;  (** estimated endpoint arrival via this path, s *)
+  path_nets : string list;  (** endpoint first, back to the source net *)
+}
+
+val worst_paths : ir -> po:string -> k:int -> path list
+(** The up-to-[k] worst paths ending at net [po] — the
+    {!Proxim_timing.Paths} enumeration with nets resolved to names.  The
+    top path is the timing-setting chain: it reproduces {!critical_path}
+    and the reported arrival exactly.  Lower ranks order the
+    alternatives by single-input would-be estimates, latest first (see
+    {!Proxim_timing.Paths}).  [[]] when [po] is unknown or never
+    switched.  Raises [Invalid_argument] when [k < 1]. *)
+
+(** {1 Model factories} *)
+
+type factory = {
+  models : Design.cell -> Proxim_macromodel.Models.t;
+  factory_stats : unit -> Proxim_util.Memo_cache.stats;
+      (** merged hit/miss/entry counters over the factory's gate/load
+          memo cache and the internal caches of every model built so far
+          — the cache-effectiveness numbers `proxim sta` and the bench
+          report *)
+}
+
+val oracle_factory :
+  ?opts:Proxim_spice.Options.t ->
+  ?wire_cap:float ->
+  Design.t ->
+  Proxim_vtc.Vtc.thresholds ->
+  factory
+(** A [models] function backed by the golden simulator: each cell gets
+    oracle models built at its actual fanout load (memoized domain-safely
+    per gate type and 1 fF load bucket). *)
+
+val table_factory :
+  ?opts:Proxim_spice.Options.t ->
+  ?wire_cap:float ->
+  ?taus:float array ->
+  ?x_tau:float array ->
+  ?x_sep:float array ->
+  ?share_others:bool ->
+  ?pool:Proxim_util.Pool.t ->
+  Design.t ->
+  Proxim_vtc.Vtc.thresholds ->
+  factory
+(** A [models] function backed by tabulated macromodels: each distinct
+    (gate type, 1 fF load bucket) pair gets
+    {!Proxim_macromodel.Models.of_tables} models characterized at the
+    cell's fanout load, built lazily on first query and shared
+    domain-safely across cells.  [pool] parallelizes the table
+    construction sweeps; the remaining options are forwarded to the table
+    builders. *)
+
+val synthetic_factory :
+  ?seed:int -> ?spread:float -> ?work:int -> unit -> factory
+(** A [models] function over {!Proxim_macromodel.Models.synthetic}
+    analytic models, one per gate type (synthetic models carry no load
+    dependence).  No simulator behind it: this is the factory the
+    randomized equivalence tests, the incremental benchmark and quick
+    CLI experiments use.  The options are forwarded to
+    {!Proxim_macromodel.Models.synthetic}. *)
 
 val oracle_model_factory :
   ?opts:Proxim_spice.Options.t ->
@@ -84,9 +234,8 @@ val oracle_model_factory :
   Proxim_vtc.Vtc.thresholds ->
   Design.cell ->
   Proxim_macromodel.Models.t
-(** A [models] function backed by the golden simulator: each cell gets
-    oracle models built at its actual fanout load (memoized domain-safely
-    per gate type and load bucket). *)
+(** [(oracle_factory ...).models] — kept for callers that do not need the
+    statistics. *)
 
 val table_model_factory :
   ?opts:Proxim_spice.Options.t ->
@@ -100,9 +249,5 @@ val table_model_factory :
   Proxim_vtc.Vtc.thresholds ->
   Design.cell ->
   Proxim_macromodel.Models.t
-(** A [models] function backed by tabulated macromodels: each distinct
-    (gate type, 1 fF load bucket) pair gets {!Proxim_macromodel.Models.of_tables}
-    models characterized at the cell's fanout load, built lazily on first
-    query and shared domain-safely across cells.  [pool] parallelizes the
-    table construction sweeps; the remaining options are forwarded to the
-    table builders. *)
+(** [(table_factory ...).models] — kept for callers that do not need the
+    statistics. *)

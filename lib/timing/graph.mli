@@ -1,0 +1,92 @@
+(** The shared timing-graph IR.
+
+    One arena holds the interned nets and cells of a gate-level design:
+    fanin/fanout adjacency, the driver of every net, a topological order
+    and topological levels.  {!Design}, the {!Sta} propagation engines and
+    the structural lints all build on this instead of maintaining private
+    hash-table graphs and ad-hoc traversals.
+
+    Nets and cells are dense integer ids ([0..net_count-1] and
+    [0..cell_count-1]), so per-node annotations are plain arrays — the
+    incremental timing engine ({!Timing}) stores its arrival/slew/edge
+    annotations that way. *)
+
+(** {1 Generic digraph algorithms}
+
+    Shared by consumers whose graphs are not (yet) well-formed designs —
+    the collect-all netlist lints run these over broken netlists with
+    duplicate drivers and cycles. *)
+
+val cycles :
+  n:int -> succ:(int -> int list) -> roots:int list -> (int * int list) list
+(** DFS from each root in order; every back edge reports once as
+    [(entry, cycle)] where [entry] is the re-entered node and [cycle]
+    lists the member nodes in edge order starting at [entry].  A
+    self-loop reports [(u, [u])]. *)
+
+val reachable : n:int -> succ:(int -> int list) -> roots:int list -> bool array
+(** Nodes reachable from [roots] (roots included). *)
+
+(** {1 The arena} *)
+
+type 'cell spec = {
+  spec_name : string;
+  spec_payload : 'cell;
+  spec_inputs : string array;  (** input net names, pin order *)
+  spec_output : string;
+}
+
+type 'cell t
+
+exception Cycle of { through : string }
+(** Raised by {!build} on a combinational cycle; [through] names a cell
+    on the cycle (the first one the traversal re-enters). *)
+
+val build :
+  cells:'cell spec list ->
+  primary_inputs:string list ->
+  primary_outputs:string list ->
+  'cell t
+(** Intern the nets and cells and precompute adjacency, topological order
+    (drivers before readers; DFS postorder over the cells in declaration
+    order) and levels.  Raises {!Cycle} on a combinational cycle and
+    [Invalid_argument] on duplicate cell names or doubly-driven nets —
+    callers wanting richer validation (arity, undriven nets) check before
+    building. *)
+
+val net_count : 'cell t -> int
+val cell_count : 'cell t -> int
+val net_name : 'cell t -> int -> string
+val net_id : 'cell t -> string -> int option
+val cell_name : 'cell t -> int -> string
+val cell_id : 'cell t -> string -> int option
+val payload : 'cell t -> int -> 'cell
+val cell_inputs : 'cell t -> int -> int array
+val cell_output : 'cell t -> int -> int
+
+val driver : 'cell t -> net:int -> int option
+(** The cell driving [net]; [None] for sources (primary inputs). *)
+
+val readers : 'cell t -> net:int -> (int * int) array
+(** [(cell, pin)] pairs reading [net], in declaration order. *)
+
+val primary_inputs : 'cell t -> int array
+val primary_outputs : 'cell t -> int array
+
+val topological : 'cell t -> int array
+(** Cells, drivers before readers. *)
+
+val cell_level : 'cell t -> int -> int
+(** Topological level: one above the deepest driven input, 0 for cells
+    fed by primary inputs only. *)
+
+val level_count : 'cell t -> int
+
+val level : 'cell t -> int -> int array
+(** Cells of one level, in topological order.  Cells of a level never
+    feed each other, so they can be timed concurrently. *)
+
+val fanout_cone : 'cell t -> nets:int list -> cells:int list -> bool array
+(** Per-cell membership of the transitive fanout cone of the given nets
+    and cells (the cells themselves included) — the set an edit to those
+    nodes can possibly affect. *)

@@ -1,0 +1,140 @@
+module Measure = Proxim_measure.Measure
+module Pool = Proxim_util.Pool
+
+type arrival = { time : float; slew : float; edge : Measure.edge }
+
+type candidate = { pin : int; from_net : int; would_be : float }
+
+type verdict = {
+  out : arrival;
+  winner : int;
+  candidates : candidate array;
+}
+
+type input = { in_pin : int; in_net : int; in_arrival : arrival }
+
+type 'cell engine = 'cell -> input list -> verdict option
+
+type 'cell t = {
+  graph : 'cell Graph.t;
+  engine : 'cell engine;
+  sources : arrival option array;  (* per net; meaningful for undriven nets *)
+  verdicts : verdict option array;  (* per cell *)
+}
+
+type stats = { evaluated : int; changed : int; total_cells : int }
+
+let create graph ~engine =
+  {
+    graph;
+    engine;
+    sources = Array.make (Graph.net_count graph) None;
+    verdicts = Array.make (Graph.cell_count graph) None;
+  }
+
+let graph t = t.graph
+
+let set_source t ~net a =
+  match Graph.driver t.graph ~net with
+  | Some _ ->
+    invalid_arg
+      ("Timing.set_source: net " ^ Graph.net_name t.graph net
+     ^ " is driven by a cell")
+  | None -> t.sources.(net) <- a
+
+let arrival t ~net =
+  match Graph.driver t.graph ~net with
+  | None -> t.sources.(net)
+  | Some c -> Option.map (fun v -> v.out) t.verdicts.(c)
+
+let verdict t ~cell = t.verdicts.(cell)
+
+(* bit-exact equality: the incremental engine's early cutoff must never
+   declare "unchanged" for values a from-scratch analysis would print
+   differently (0. vs -0. compare equal under (=) but not bitwise) *)
+let float_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let arrival_eq a b =
+  float_eq a.time b.time && float_eq a.slew b.slew && a.edge = b.edge
+
+let candidate_eq a b =
+  a.pin = b.pin && a.from_net = b.from_net && float_eq a.would_be b.would_be
+
+let verdict_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+    arrival_eq a.out b.out && a.winner = b.winner
+    && Array.length a.candidates = Array.length b.candidates
+    && Array.for_all2 candidate_eq a.candidates b.candidates
+  | None, Some _ | Some _, None -> false
+
+let compute t cell_id =
+  let g = t.graph in
+  let inputs =
+    Array.to_list (Graph.cell_inputs g cell_id)
+    |> List.mapi (fun pin net ->
+         Option.map
+           (fun a -> { in_pin = pin; in_net = net; in_arrival = a })
+           (arrival t ~net))
+    |> List.filter_map Fun.id
+  in
+  t.engine (Graph.payload g cell_id) inputs
+
+let update ?pool t ~dirty_nets ~dirty_cells =
+  let g = t.graph in
+  let n_levels = Graph.level_count g in
+  let buckets = Array.make (max n_levels 1) [] in
+  let queued = Array.make (Graph.cell_count g) false in
+  let enqueue c =
+    if not queued.(c) then begin
+      queued.(c) <- true;
+      let l = Graph.cell_level g c in
+      buckets.(l) <- c :: buckets.(l)
+    end
+  in
+  List.iter enqueue dirty_cells;
+  List.iter
+    (fun net -> Array.iter (fun (c, _) -> enqueue c) (Graph.readers g ~net))
+    dirty_nets;
+  let evaluated = ref 0 in
+  let changed = ref 0 in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  for l = 0 to n_levels - 1 do
+    match buckets.(l) with
+    | [] -> ()
+    | dirty ->
+      let cells = Array.of_list (List.sort compare dirty) in
+      (* cells of one level only read strictly lower levels, so they can
+         be evaluated concurrently; results are applied level-by-level *)
+      let results =
+        if Array.length cells = 1 then Array.map (compute t) cells
+        else Pool.map pool (compute t) cells
+      in
+      evaluated := !evaluated + Array.length cells;
+      Array.iteri
+        (fun i v ->
+          let c = cells.(i) in
+          if not (verdict_eq t.verdicts.(c) v) then begin
+            t.verdicts.(c) <- v;
+            incr changed;
+            Array.iter
+              (fun (r, _) -> enqueue r)
+              (Graph.readers g ~net:(Graph.cell_output g c))
+          end)
+        results
+  done;
+  { evaluated = !evaluated; changed = !changed; total_cells = Graph.cell_count g }
+
+let analyze ?pool t =
+  Array.fill t.verdicts 0 (Array.length t.verdicts) None;
+  update ?pool t ~dirty_nets:[]
+    ~dirty_cells:(List.init (Graph.cell_count t.graph) Fun.id)
+
+let predecessor t ~net =
+  match Graph.driver t.graph ~net with
+  | None -> None
+  | Some c ->
+    Option.map
+      (fun v -> ((Graph.cell_inputs t.graph c).(v.winner), v.winner))
+      t.verdicts.(c)

@@ -1,0 +1,527 @@
+(* Tests for the timing-graph IR: generic graph algorithms, the
+   annotated propagation engine with its incremental (ECO) update, the
+   K-worst path enumeration, and the randomized update-equals-analyze
+   equivalence property the Sta layer advertises. *)
+
+module Prng = Proxim_util.Prng
+module Memo_cache = Proxim_util.Memo_cache
+module Graph = Proxim_timing.Graph
+module Timing = Proxim_timing.Timing
+module Paths = Proxim_timing.Paths
+module Gate = Proxim_gates.Gate
+module Tech = Proxim_gates.Tech
+module Vtc = Proxim_vtc.Vtc
+module Measure = Proxim_measure.Measure
+module Models = Proxim_macromodel.Models
+module Design = Proxim_sta.Design
+module Sta = Proxim_sta.Sta
+
+(* ------------------------------------------------------------------ *)
+(* Generic digraph algorithms                                          *)
+
+let test_cycles () =
+  (* 0 -> 1 -> 2 -> 0 plus an acyclic tail 3 -> 4 *)
+  let succ = function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 0 ] | 3 -> [ 4 ] | _ -> [] in
+  (match Graph.cycles ~n:5 ~succ ~roots:[ 0; 3 ] with
+  | [ (entry, members) ] ->
+    Alcotest.(check int) "entry" 0 entry;
+    Alcotest.(check (list int)) "members" [ 0; 1; 2 ] members
+  | l -> Alcotest.failf "expected one cycle, got %d" (List.length l));
+  (* self-loop *)
+  (match Graph.cycles ~n:1 ~succ:(fun _ -> [ 0 ]) ~roots:[ 0 ] with
+  | [ (0, [ 0 ]) ] -> ()
+  | _ -> Alcotest.fail "self-loop should report (0, [0])");
+  (* acyclic *)
+  Alcotest.(check int) "acyclic" 0
+    (List.length (Graph.cycles ~n:3 ~succ:(function 0 -> [ 1; 2 ] | _ -> []) ~roots:[ 0 ]))
+
+let test_reachable () =
+  let succ = function 0 -> [ 1 ] | 1 -> [ 2 ] | 3 -> [ 4 ] | _ -> [] in
+  let r = Graph.reachable ~n:6 ~succ ~roots:[ 0 ] in
+  Alcotest.(check (list bool)) "from 0"
+    [ true; true; true; false; false; false ]
+    (Array.to_list r)
+
+(* ------------------------------------------------------------------ *)
+(* Arena construction                                                  *)
+
+let spec name inputs output =
+  { Graph.spec_name = name; spec_payload = (); spec_inputs = inputs; spec_output = output }
+
+let test_build_arena () =
+  let g =
+    Graph.build
+      ~cells:[ spec "u1" [| "a"; "b" |] "n1"; spec "u2" [| "n1"; "c" |] "y" ]
+      ~primary_inputs:[ "a"; "b"; "c" ] ~primary_outputs:[ "y" ]
+  in
+  Alcotest.(check int) "nets" 5 (Graph.net_count g);
+  Alcotest.(check int) "cells" 2 (Graph.cell_count g);
+  let u1 = Option.get (Graph.cell_id g "u1") in
+  let u2 = Option.get (Graph.cell_id g "u2") in
+  let n1 = Option.get (Graph.net_id g "n1") in
+  let a = Option.get (Graph.net_id g "a") in
+  Alcotest.(check int) "levels" 2 (Graph.level_count g);
+  Alcotest.(check int) "u1 level" 0 (Graph.cell_level g u1);
+  Alcotest.(check int) "u2 level" 1 (Graph.cell_level g u2);
+  Alcotest.(check bool) "driver n1" true (Graph.driver g ~net:n1 = Some u1);
+  Alcotest.(check bool) "driver a" true (Graph.driver g ~net:a = None);
+  (match Graph.readers g ~net:n1 with
+  | [| (c, pin) |] ->
+    Alcotest.(check int) "reader cell" u2 c;
+    Alcotest.(check int) "reader pin" 0 pin
+  | _ -> Alcotest.fail "n1 should have one reader");
+  let topo = Graph.topological g in
+  Alcotest.(check bool) "u1 before u2" true
+    (topo.(0) = u1 && topo.(1) = u2);
+  (* fanout cone of net a covers both cells; cone of cell u2 only u2 *)
+  let cone_a = Graph.fanout_cone g ~nets:[ a ] ~cells:[] in
+  Alcotest.(check (list bool)) "cone of a" [ true; true ]
+    (Array.to_list cone_a);
+  let cone_u2 = Graph.fanout_cone g ~nets:[] ~cells:[ u2 ] in
+  Alcotest.(check bool) "cone of u2" true
+    (cone_u2.(u2) && not cone_u2.(u1))
+
+let test_build_cycle_raises () =
+  Alcotest.(check bool) "cycle raises" true
+    (try
+       ignore
+         (Graph.build
+            ~cells:[ spec "u1" [| "a"; "y" |] "x"; spec "u2" [| "x" |] "y" ]
+            ~primary_inputs:[ "a" ] ~primary_outputs:[ "y" ]);
+       false
+     with Graph.Cycle { through = _ } -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Toy propagation engine: delay per arc depends only on the pin, so
+   expected arrivals are exact by hand                                 *)
+
+let toy_engine ~pin_delay () (inputs : Timing.input list) =
+  match inputs with
+  | [] -> None
+  | _ ->
+    let resp (i : Timing.input) =
+      i.Timing.in_arrival.Timing.time +. pin_delay i.Timing.in_pin
+    in
+    let winner =
+      List.fold_left
+        (fun acc i ->
+          match acc with Some b when resp b >= resp i -> Some b | _ -> Some i)
+        None inputs
+    in
+    let w = Option.get winner in
+    let out_t = resp w in
+    Some
+      {
+        Timing.out = { Timing.time = out_t; slew = 1e-10; edge = Measure.Rise };
+        winner = w.Timing.in_pin;
+        candidates =
+          Array.of_list
+            (List.map
+               (fun (i : Timing.input) ->
+                 {
+                   Timing.pin = i.Timing.in_pin;
+                   from_net = i.Timing.in_net;
+                   would_be = resp i;
+                 })
+               inputs);
+      }
+
+let chain_graph () =
+  Graph.build
+    ~cells:
+      [ spec "c1" [| "a" |] "x1"; spec "c2" [| "x1" |] "x2";
+        spec "c3" [| "x2" |] "x3" ]
+    ~primary_inputs:[ "a" ] ~primary_outputs:[ "x3" ]
+
+let arr t = { Timing.time = t; slew = 1e-10; edge = Measure.Fall }
+
+let test_analyze_chain () =
+  let g = chain_graph () in
+  let t = Timing.create g ~engine:(toy_engine ~pin_delay:(fun p -> 1e-10 *. float_of_int (p + 1))) in
+  let a = Option.get (Graph.net_id g "a") in
+  Timing.set_source t ~net:a (Some (arr 1e-10));
+  let st = Timing.analyze t in
+  Alcotest.(check int) "evaluated" 3 st.Timing.evaluated;
+  Alcotest.(check int) "total" 3 st.Timing.total_cells;
+  let x3 = Option.get (Graph.net_id g "x3") in
+  (match Timing.arrival t ~net:x3 with
+  | Some a3 -> Alcotest.(check (float 1e-15)) "x3 time" 4e-10 a3.Timing.time
+  | None -> Alcotest.fail "x3 quiet");
+  (* predecessor chain walks back through the winners *)
+  match Timing.predecessor t ~net:x3 with
+  | Some (pred, 0) ->
+    Alcotest.(check string) "pred of x3" "x2" (Graph.net_name g pred)
+  | _ -> Alcotest.fail "x3 should have a predecessor"
+
+let test_early_cutoff () =
+  let g = chain_graph () in
+  let t = Timing.create g ~engine:(toy_engine ~pin_delay:(fun _ -> 1e-10)) in
+  let a = Option.get (Graph.net_id g "a") in
+  Timing.set_source t ~net:a (Some (arr 1e-10));
+  ignore (Timing.analyze t);
+  (* re-setting the identical event re-evaluates only the direct reader *)
+  Timing.set_source t ~net:a (Some (arr 1e-10));
+  let st = Timing.update t ~dirty_nets:[ a ] ~dirty_cells:[] in
+  Alcotest.(check int) "cutoff evaluated" 1 st.Timing.evaluated;
+  Alcotest.(check int) "cutoff changed" 0 st.Timing.changed;
+  (* a real change walks the whole chain *)
+  Timing.set_source t ~net:a (Some (arr 2e-10));
+  let st = Timing.update t ~dirty_nets:[ a ] ~dirty_cells:[] in
+  Alcotest.(check int) "full cone evaluated" 3 st.Timing.evaluated;
+  Alcotest.(check int) "full cone changed" 3 st.Timing.changed
+
+(* ------------------------------------------------------------------ *)
+(* K-worst enumeration on a diamond with tied arrivals                 *)
+
+let diamond_graph () =
+  Graph.build
+    ~cells:
+      [ spec "c1" [| "a" |] "n1"; spec "c2" [| "a" |] "n2";
+        spec "c3" [| "n1"; "n2" |] "y" ]
+    ~primary_inputs:[ "a" ] ~primary_outputs:[ "y" ]
+
+let test_k_worst_ties () =
+  let g = diamond_graph () in
+  let t = Timing.create g ~engine:(toy_engine ~pin_delay:(fun _ -> 1e-10)) in
+  let a = Option.get (Graph.net_id g "a") in
+  Timing.set_source t ~net:a (Some (arr 0.));
+  ignore (Timing.analyze t);
+  let y = Option.get (Graph.net_id g "y") in
+  let paths = Paths.k_worst t ~po:y ~k:4 in
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  (match paths with
+  | [ p1; p2 ] ->
+    (* both routes arrive at the same instant; rank 1 is the winner
+       chain (pin 0, via n1), the tie is broken deterministically *)
+    Alcotest.(check bool) "tied arrivals" true
+      (Int64.equal
+         (Int64.bits_of_float p1.Paths.p_arrival)
+         (Int64.bits_of_float p2.Paths.p_arrival));
+    Alcotest.(check (list string)) "winner chain first" [ "y"; "n1"; "a" ]
+      (Paths.nets_of_path g p1);
+    Alcotest.(check (list string)) "alternative second" [ "y"; "n2"; "a" ]
+      (Paths.nets_of_path g p2)
+  | _ -> Alcotest.fail "expected two paths");
+  (* deterministic: a second enumeration is structurally identical *)
+  Alcotest.(check bool) "repeatable" true (Paths.k_worst t ~po:y ~k:4 = paths);
+  Alcotest.(check bool) "k < 1 rejected" true
+    (try
+       ignore (Paths.k_worst t ~po:y ~k:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Sta-level: synthetic models over real gates                         *)
+
+let tech = Tech.generic_5v
+let nand2 = Gate.nand tech ~fan_in:2
+let nor2 = Gate.nor tech ~fan_in:2
+let inv = Gate.inverter tech
+let thresholds = lazy (Vtc.thresholds ~points:201 nand2)
+
+let cell name gate inputs output =
+  { Design.name; gate; input_nets = inputs; output_net = output }
+
+(* reconvergent fanout: n1 splits into two inverter branches that rejoin *)
+let reconvergent () =
+  Design.create
+    ~cells:
+      [
+        cell "u1" nand2 [| "a"; "b" |] "n1";
+        cell "u2" inv [| "n1" |] "n2";
+        cell "u3" inv [| "n1" |] "n3";
+        cell "u4" nand2 [| "n2"; "n3" |] "y";
+      ]
+    ~primary_inputs:[ "a"; "b" ] ~primary_outputs:[ "y" ]
+
+let ev ?(slew = 2e-10) t = { Sta.time = t; slew; edge = Measure.Fall }
+
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let arrival_bits_eq (a : Sta.arrival) (b : Sta.arrival) =
+  bits_eq a.Sta.time b.Sta.time
+  && bits_eq a.Sta.slew b.Sta.slew
+  && a.Sta.edge = b.Sta.edge
+
+let report_bits_eq (a : Sta.report) (b : Sta.report) =
+  List.length a.Sta.arrivals = List.length b.Sta.arrivals
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) -> String.equal n1 n2 && arrival_bits_eq a1 a2)
+       a.Sta.arrivals b.Sta.arrivals
+  && (match (a.Sta.critical_po, b.Sta.critical_po) with
+     | None, None -> true
+     | Some (n1, a1), Some (n2, a2) ->
+       String.equal n1 n2 && arrival_bits_eq a1 a2
+     | _ -> false)
+  && a.Sta.predecessors = b.Sta.predecessors
+
+let test_worst_paths_reconvergent () =
+  let d = reconvergent () in
+  let th = Lazy.force thresholds in
+  let { Sta.models; _ } = Sta.synthetic_factory () in
+  List.iter
+    (fun mode ->
+      let ir =
+        Sta.build_ir ~mode ~models ~thresholds:th d
+          ~pi:[ ("a", ev 0.); ("b", ev 30e-12) ]
+      in
+      ignore (Sta.reanalyze ir);
+      let report = Sta.report ir in
+      let paths = Sta.worst_paths ir ~po:"y" ~k:8 in
+      (* both reconvergent branches appear as distinct full-depth paths *)
+      Alcotest.(check bool) "at least 2 paths" true (List.length paths >= 2);
+      let nets = List.map (fun p -> p.Sta.path_nets) paths in
+      Alcotest.(check bool) "via n2" true
+        (List.exists (fun ns -> List.mem "n2" ns) nets);
+      Alcotest.(check bool) "via n3" true
+        (List.exists (fun ns -> List.mem "n3" ns) nets);
+      (* rank 1 reproduces the reported arrival and the critical chain *)
+      (match (paths, report.Sta.critical_po) with
+      | top :: _, Some (po, a) ->
+        Alcotest.(check string) "po" "y" po;
+        Alcotest.(check bool) "top arrival exact" true
+          (bits_eq top.Sta.path_arrival a.Sta.time);
+        Alcotest.(check (list string)) "top is critical path"
+          (Sta.critical_path report ~po:"y")
+          top.Sta.path_nets
+      | _ -> Alcotest.fail "missing paths or critical po");
+      Alcotest.(check (list string)) "unknown po" []
+        (List.concat_map (fun p -> p.Sta.path_nets)
+           (Sta.worst_paths ir ~po:"nope" ~k:2)))
+    [ Sta.Classic; Sta.Proximity ]
+
+let test_negative_slack () =
+  let d = reconvergent () in
+  let th = Lazy.force thresholds in
+  let { Sta.models; _ } = Sta.synthetic_factory () in
+  let report =
+    Sta.analyze ~mode:Sta.Classic ~models ~thresholds:th d
+      ~pi:[ ("a", ev 0.); ("b", ev 10e-12) ]
+  in
+  match Sta.po_slacks d report ~required:0. with
+  | [ ("y", slack) ] ->
+    Alcotest.(check bool) "negative slack" true (slack < 0.);
+    (match report.Sta.critical_po with
+    | Some (_, a) ->
+      Alcotest.(check (float 1e-18)) "slack = -arrival" (-.a.Sta.time) slack
+    | None -> Alcotest.fail "no critical po")
+  | _ -> Alcotest.fail "expected one po slack"
+
+(* regression: a primary output that is itself a primary-input net must
+   yield the singleton path, not [] *)
+let test_pi_po_singleton () =
+  let d =
+    Design.create
+      ~cells:[ cell "u1" inv [| "b" |] "y" ]
+      ~primary_inputs:[ "a"; "b" ]
+      ~primary_outputs:[ "a"; "y" ]
+  in
+  let th = Lazy.force thresholds in
+  let { Sta.models; _ } = Sta.synthetic_factory () in
+  let report =
+    Sta.analyze ~models ~thresholds:th d
+      ~pi:[ ("a", ev 500e-12); ("b", ev 0.) ]
+  in
+  Alcotest.(check (list string)) "pad-through po" [ "a" ]
+    (Sta.critical_path report ~po:"a");
+  Alcotest.(check int) "both pos have slacks" 2
+    (List.length (Sta.po_slacks d report ~required:1e-9))
+
+let test_update_rejects_unknown () =
+  let d = reconvergent () in
+  let th = Lazy.force thresholds in
+  let { Sta.models; _ } = Sta.synthetic_factory () in
+  let ir = Sta.build_ir ~models ~thresholds:th d ~pi:[ ("a", ev 0.) ] in
+  ignore (Sta.reanalyze ir);
+  let rejects eco =
+    try
+      ignore (Sta.update ir [ eco ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "unknown net" true
+    (rejects (Sta.Set_pi ("ghost", Some (ev 0.))));
+  Alcotest.(check bool) "driven net" true
+    (rejects (Sta.Set_pi ("n1", Some (ev 0.))));
+  Alcotest.(check bool) "unknown cell" true
+    (rejects (Sta.Touch_cell "ghost"))
+
+let test_factory_cache_stats () =
+  let d = reconvergent () in
+  let th = Lazy.force thresholds in
+  let { Sta.models; factory_stats } = Sta.synthetic_factory () in
+  let pi = [ ("a", ev 0.); ("b", ev 25e-12) ] in
+  ignore (Sta.analyze ~models ~thresholds:th d ~pi);
+  let s1 = factory_stats () in
+  Alcotest.(check bool) "misses after first run" true
+    (s1.Memo_cache.misses > 0 && s1.Memo_cache.entries > 0);
+  ignore (Sta.analyze ~models ~thresholds:th d ~pi);
+  let s2 = factory_stats () in
+  Alcotest.(check bool) "second run hits" true
+    (s2.Memo_cache.hits > s1.Memo_cache.hits);
+  Alcotest.(check int) "no new misses" s1.Memo_cache.misses
+    s2.Memo_cache.misses
+
+(* ------------------------------------------------------------------ *)
+(* Randomized equivalence: a sequence of ECO updates must leave the IR
+   bit-identical to a fresh analysis of the edited configuration        *)
+
+let random_design rng ~depth ~width =
+  let gate_pool = [| nand2; nor2 |] in
+  let pis = Array.init width (Printf.sprintf "p%d") in
+  let prev = ref pis in
+  let cells = ref [] in
+  for layer = 0 to depth - 1 do
+    let layer_cells =
+      Array.init width (fun j ->
+          let gate = gate_pool.(Prng.int rng ~lo:0 ~hi:1) in
+          let i0 = Prng.int rng ~lo:0 ~hi:(width - 1) in
+          let i1 =
+            (i0 + Prng.int rng ~lo:1 ~hi:(width - 1)) mod width
+          in
+          cell
+            (Printf.sprintf "u%d_%d" layer j)
+            gate
+            [| (!prev).(i0); (!prev).(i1) |]
+            (Printf.sprintf "n%d_%d" layer j))
+    in
+    cells := Array.to_list layer_cells @ !cells;
+    prev := Array.map (fun c -> c.Design.output_net) layer_cells
+  done;
+  Design.create ~cells:(List.rev !cells)
+    ~primary_inputs:(Array.to_list pis)
+    ~primary_outputs:(Array.to_list !prev)
+
+let random_event rng =
+  {
+    Sta.time = Prng.float rng ~lo:0. ~hi:400e-12;
+    slew = Prng.float rng ~lo:100e-12 ~hi:600e-12;
+    edge = Measure.Fall;
+  }
+
+let mode_name = function
+  | Sta.Classic -> "classic"
+  | Sta.Proximity -> "proximity"
+  | Sta.Collapsed _ -> "collapsed"
+
+let run_equivalence_sequences mode ~sequences =
+  let th = Lazy.force thresholds in
+  let rng =
+    Prng.create (match mode with Sta.Classic -> 0x5EED1L | _ -> 0x5EED2L)
+  in
+  for seq = 1 to sequences do
+    let design =
+      random_design rng
+        ~depth:(Prng.int rng ~lo:2 ~hi:3)
+        ~width:(Prng.int rng ~lo:3 ~hi:5)
+    in
+    (* per-cell seed overrides let Touch_cell stand in for a
+       re-characterized instance; shared by the incremental IR and the
+       fresh rebuilds *)
+    let overrides : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let cache = Memo_cache.create () in
+    let models (c : Design.cell) =
+      let seed =
+        match Hashtbl.find_opt overrides c.Design.name with
+        | Some s -> s
+        | None -> 0
+      in
+      Memo_cache.find_or_compute cache (c.Design.gate.Gate.name, seed)
+        (fun () -> Models.synthetic ~seed c.Design.gate)
+    in
+    let pis = Array.of_list (Design.primary_inputs design) in
+    let cell_names =
+      Array.of_list (List.map (fun c -> c.Design.name) (Design.cells design))
+    in
+    let current =
+      ref (Array.to_list (Array.map (fun p -> (p, random_event rng)) pis))
+    in
+    let ir = Sta.build_ir ~mode ~models ~thresholds:th design ~pi:!current in
+    ignore (Sta.reanalyze ir);
+    for step = 1 to 3 do
+      let eco =
+        match Prng.int rng ~lo:0 ~hi:3 with
+        | 0 | 1 ->
+          let net = pis.(Prng.int rng ~lo:0 ~hi:(Array.length pis - 1)) in
+          let e = random_event rng in
+          current := (net, e) :: List.remove_assoc net !current;
+          Sta.Set_pi (net, Some e)
+        | 2 ->
+          let net = pis.(Prng.int rng ~lo:0 ~hi:(Array.length pis - 1)) in
+          current := List.remove_assoc net !current;
+          Sta.Set_pi (net, None)
+        | _ ->
+          let name =
+            cell_names.(Prng.int rng ~lo:0 ~hi:(Array.length cell_names - 1))
+          in
+          Hashtbl.replace overrides name ((100 * seq) + step);
+          Sta.Touch_cell name
+      in
+      ignore (Sta.update ir [ eco ]);
+      let fresh =
+        Sta.build_ir ~mode ~models ~thresholds:th design ~pi:!current
+      in
+      ignore (Sta.reanalyze fresh);
+      if not (report_bits_eq (Sta.report ir) (Sta.report fresh)) then
+        Alcotest.failf "update <> analyze: mode %s, sequence %d, step %d"
+          (mode_name mode) seq step
+    done
+  done
+
+let test_equivalence_classic () =
+  run_equivalence_sequences Sta.Classic ~sequences:100
+
+let test_equivalence_proximity () =
+  run_equivalence_sequences Sta.Proximity ~sequences:100
+
+let test_swap_models_equiv () =
+  let d = reconvergent () in
+  let th = Lazy.force thresholds in
+  let pi = [ ("a", ev 0.); ("b", ev 40e-12) ] in
+  let f0 = Sta.synthetic_factory () in
+  let f1 = Sta.synthetic_factory ~seed:1 () in
+  let ir = Sta.build_ir ~models:f0.Sta.models ~thresholds:th d ~pi in
+  ignore (Sta.reanalyze ir);
+  let st = Sta.swap_models ir f1.Sta.models in
+  Alcotest.(check int) "swap touches every cell" 4 st.Timing.evaluated;
+  let fresh = Sta.build_ir ~models:f1.Sta.models ~thresholds:th d ~pi in
+  ignore (Sta.reanalyze fresh);
+  Alcotest.(check bool) "swap equals fresh" true
+    (report_bits_eq (Sta.report ir) (Sta.report fresh))
+
+let () =
+  Alcotest.run "timing"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "cycles" `Quick test_cycles;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "arena" `Quick test_build_arena;
+          Alcotest.test_case "cycle raises" `Quick test_build_cycle_raises;
+        ] );
+      ( "propagation",
+        [
+          Alcotest.test_case "analyze chain" `Quick test_analyze_chain;
+          Alcotest.test_case "early cutoff" `Quick test_early_cutoff;
+          Alcotest.test_case "k-worst ties" `Quick test_k_worst_ties;
+        ] );
+      ( "sta",
+        [
+          Alcotest.test_case "worst paths reconvergent" `Slow
+            test_worst_paths_reconvergent;
+          Alcotest.test_case "negative slack" `Slow test_negative_slack;
+          Alcotest.test_case "pi-po singleton" `Slow test_pi_po_singleton;
+          Alcotest.test_case "update rejects unknown" `Slow
+            test_update_rejects_unknown;
+          Alcotest.test_case "factory cache stats" `Slow
+            test_factory_cache_stats;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "classic 100 sequences" `Slow
+            test_equivalence_classic;
+          Alcotest.test_case "proximity 100 sequences" `Slow
+            test_equivalence_proximity;
+          Alcotest.test_case "swap models" `Slow test_swap_models_equiv;
+        ] );
+    ]
