@@ -955,6 +955,166 @@ let incremental_bench () =
   Printf.printf "  wrote BENCH_incremental.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Static verification: interval soundness on a randomized design, and
+   the never-proximate pruning payoff.  Writes BENCH_verify.json.      *)
+
+module Verify = Proxim_verify.Verify
+module Interval = Proxim_verify.Interval
+
+let verify_bench () =
+  let c = Lazy.force ctx in
+  section
+    "Static verification: interval soundness and never-proximate pruning";
+  let depth = 4 and width = if !quick then 40 else 110 in
+  let rng = Prng.create 0x5AFEL in
+  let design = random_layered_design rng ~tech:c.tech ~depth ~width in
+  let n_cells = List.length (Design.cells design) in
+  let factory = Sta.synthetic_factory () in
+  let models = factory.Sta.models in
+  (* roughly half the primary inputs stay quiet, a wide time spread: the
+     regime where many cells see a single switching input and the
+     never-proximate verdict pays *)
+  let pi =
+    List.filter_map
+      (fun net ->
+        if Prng.int rng ~lo:0 ~hi:1 = 0 then None
+        else
+          Some
+            ( net,
+              {
+                Sta.time = Prng.float rng ~lo:0. ~hi:800e-12;
+                slew = Prng.float rng ~lo:150e-12 ~hi:600e-12;
+                edge = Measure.Fall;
+              } ))
+      (Design.primary_inputs design)
+  in
+  let time_window = 40e-12 and tau_window = 20e-12 in
+  let events =
+    List.map (Verify.of_sta_event ~time_window ~tau_window) pi
+  in
+  let verify_of mode =
+    Verify.analyze ~mode ~models ~thresholds:c.th design ~pi:events
+  in
+  let v_prox = verify_of Sta.Proximity in
+  let s = Verify.summary v_prox in
+  let prune_rate =
+    if s.Verify.switching_cells = 0 then 0.
+    else float_of_int s.Verify.never /. float_of_int s.Verify.switching_cells
+  in
+  Printf.printf
+    "  design: %d cells, %d switching, %d constrained of %d primary inputs \
+     (±%.0f ps time, ±%.0f ps tau windows)\n"
+    n_cells s.Verify.switching_cells (List.length pi)
+    (List.length (Design.primary_inputs design))
+    (ps time_window) (ps tau_window);
+  Printf.printf
+    "  classification: never %d / always %d / may %d  (prune rate %.1f%%)\n"
+    s.Verify.never s.Verify.always s.Verify.may (100. *. prune_rate);
+  (* soundness: randomized concrete analyses must land inside the
+     intervals, in both abstracted modes *)
+  let pool = Pool.create ~domains:1 in
+  let trials = if !quick then 20 else 100 in
+  let draw_rng = Prng.create 0xD12AL in
+  let check_mode mode v =
+    let violations = ref 0 in
+    for _ = 1 to trials do
+      let concrete_pi =
+        List.map
+          (fun (net, (a : Sta.arrival)) ->
+            ( net,
+              {
+                a with
+                Sta.time =
+                  Prng.float draw_rng ~lo:(a.Sta.time -. time_window)
+                    ~hi:(a.Sta.time +. time_window);
+                slew =
+                  Prng.float draw_rng ~lo:(a.Sta.slew -. tau_window)
+                    ~hi:(a.Sta.slew +. tau_window);
+              } ))
+          pi
+      in
+      let report =
+        Sta.analyze ~mode ~pool ~models ~thresholds:c.th design
+          ~pi:concrete_pi
+      in
+      List.iter
+        (fun (net, (a : Sta.arrival)) ->
+          match Verify.net_arrival v ~net with
+          | None -> incr violations
+          | Some (abs : Verify.aarrival) ->
+            if
+              not
+                (Interval.contains abs.Verify.a_time a.Sta.time
+                && Interval.contains abs.Verify.a_slew a.Sta.slew
+                && abs.Verify.a_edge = a.Sta.edge)
+            then incr violations)
+        report.Sta.arrivals
+    done;
+    !violations
+  in
+  let viol_prox = check_mode Sta.Proximity v_prox in
+  let viol_classic = check_mode Sta.Classic (verify_of Sta.Classic) in
+  let sound = viol_prox = 0 && viol_classic = 0 in
+  Printf.printf
+    "  soundness: %d randomized concrete analyses per mode, violations: \
+     proximity %d, classic %d\n"
+    trials viol_prox viol_classic;
+  (* pruning: bit-identity and wall-clock payoff on the nominal events *)
+  let prune = Verify.prune_mask v_prox in
+  let run_trials prune_opt =
+    let n = if !quick then 5 else 20 in
+    let times = Array.make n 0. in
+    let ir =
+      Sta.build_ir ~mode:Sta.Proximity ?prune:prune_opt ~models
+        ~thresholds:c.th design ~pi
+    in
+    for t = 0 to n - 1 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sta.reanalyze ~pool ir);
+      times.(t) <- Unix.gettimeofday () -. t0
+    done;
+    (Stats.percentile times 50., Sta.report ir, Sta.pruned_evaluations ir)
+  in
+  let t_full, r_full, _ = run_trials None in
+  let t_pruned, r_pruned, pruned_evals = run_trials (Some prune) in
+  let identical = report_bits_eq r_full r_pruned in
+  let speedup = if t_pruned > 0. then t_full /. t_pruned else 1. in
+  Pool.shutdown pool;
+  Printf.printf
+    "  VERIFY SUMMARY: prune rate %.1f%%, %d evaluations fast-pathed per \
+     pass, full %.3f ms vs pruned %.3f ms (%.2fx), reports %s, intervals %s\n"
+    (100. *. prune_rate)
+    (pruned_evals / (if !quick then 5 else 20))
+    (1e3 *. t_full) (1e3 *. t_pruned) speedup
+    (if identical then "bit-identical" else "DIFFER")
+    (if sound then "sound" else "VIOLATED");
+  let oc = open_out "BENCH_verify.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"interval verification of a random layered design, \
+     synthetic models\",\n\
+    \  \"quick\": %b,\n\
+    \  \"cells\": %d,\n\
+    \  \"switching_cells\": %d,\n\
+    \  \"never\": %d,\n\
+    \  \"always\": %d,\n\
+    \  \"may\": %d,\n\
+    \  \"prune_rate\": %.3f,\n\
+    \  \"soundness_trials_per_mode\": %d,\n\
+    \  \"soundness_violations\": { \"proximity\": %d, \"classic\": %d },\n\
+    \  \"sound\": %b,\n\
+    \  \"bit_identical\": %b,\n\
+    \  \"full_median_ms\": %.4f,\n\
+    \  \"pruned_median_ms\": %.4f,\n\
+    \  \"speedup\": %.3f\n\
+     }\n"
+    !quick n_cells s.Verify.switching_cells s.Verify.never s.Verify.always
+    s.Verify.may prune_rate trials viol_prox viol_classic sound identical
+    (1e3 *. t_full) (1e3 *. t_pruned) speedup;
+  close_out oc;
+  Printf.printf "  wrote BENCH_verify.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -973,6 +1133,7 @@ let experiments =
     ("microbench", microbench);
     ("parallel_bench", parallel_bench);
     ("incremental_bench", incremental_bench);
+    ("verify_bench", verify_bench);
   ]
 
 (* ablation_correction shares its output with table5_1; avoid printing it

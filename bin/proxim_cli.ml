@@ -6,6 +6,7 @@
    $ proxim glitch nand3 --tau-fall 500 --tau-rise 100 --find-min
    $ proxim sta design.ntl --pi a:fall:500:0 --pi b:fall:100:50 --paths 3
    $ proxim sta design.ntl --pi a:fall:500:0 --eco pi:a:fall:200:0 --verify-eco
+   $ proxim verify design.ntl --pi a:fall:500:0 --pi b:fall:100:50 --pi-window 25
    $ proxim storage --fan-in 4
    $ proxim lint --format json design.ntl store.txt *)
 
@@ -363,8 +364,57 @@ let apply_eco_to_pi pi = function
     let rest = List.remove_assoc net pi in
     match a with None -> rest | Some a -> rest @ [ (net, a) ])
 
+module Verify = Proxim_verify.Verify
+module Interval = Proxim_verify.Interval
+
+(* The prune mask must stay sound for the initial analysis AND every
+   post-ECO re-analysis, so verify over interval events hulling both
+   configurations.  Any structural change to the event set (a PI
+   silenced, added, or edge-flipped) falls back to no pruning. *)
+let sta_prune_mask ~models ~thresholds design ~pi ~ecos =
+  let pi' = List.fold_left apply_eco_to_pi pi ecos in
+  let nets l = List.sort compare (List.map fst l) in
+  let compatible =
+    nets pi = nets pi'
+    && List.for_all
+         (fun (n, (a : Sta.arrival)) ->
+           match List.assoc_opt n pi' with
+           | Some (a' : Sta.arrival) -> a.Sta.edge = a'.Sta.edge
+           | None -> false)
+         pi
+  in
+  if not compatible then None
+  else begin
+    let events =
+      List.map
+        (fun (n, (a : Sta.arrival)) ->
+          let a' = Option.value (List.assoc_opt n pi') ~default:a in
+          {
+            Verify.ev_net = n;
+            ev_edge = a.Sta.edge;
+            ev_time =
+              Interval.make
+                (Float.min a.Sta.time a'.Sta.time)
+                (Float.max a.Sta.time a'.Sta.time);
+            ev_tau =
+              Interval.make
+                (Float.min a.Sta.slew a'.Sta.slew)
+                (Float.max a.Sta.slew a'.Sta.slew);
+          })
+        pi
+    in
+    let v =
+      Verify.analyze ~mode:Sta.Proximity ~models ~thresholds design ~pi:events
+    in
+    let s = Verify.summary v in
+    Printf.printf
+      "static verification: %d of %d switching cells never-proximate\n"
+      s.Verify.never s.Verify.switching_cells;
+    Some (Verify.prune_mask v)
+  end
+
 let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
-    verify_eco =
+    verify_eco no_prune =
   let tech = Tech.generic_5v in
   match In_channel.with_open_text file In_channel.input_all with
   | exception Sys_error m ->
@@ -412,9 +462,15 @@ let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
           let g = Design.graph design in
           Printf.printf "design %s: %d cells, %d nets, %d levels\n" name
             (Graph.cell_count g) (Graph.net_count g) (Graph.level_count g);
+          let prune =
+            if no_prune || mode <> Sta.Proximity then None
+            else
+              sta_prune_mask ~models:factory.Sta.models ~thresholds:th design
+                ~pi ~ecos
+          in
           let ir =
-            Sta.build_ir ~mode ~models:factory.Sta.models ~thresholds:th
-              design ~pi
+            Sta.build_ir ~mode ?prune ~models:factory.Sta.models
+              ~thresholds:th design ~pi
           in
           ignore (Sta.reanalyze ir : Timing.stats);
           let show_results () =
@@ -460,7 +516,7 @@ let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
               else begin
                 let pi' = List.fold_left apply_eco_to_pi pi ecos in
                 let fresh =
-                  Sta.build_ir ~mode ~models:factory.Sta.models
+                  Sta.build_ir ~mode ?prune ~models:factory.Sta.models
                     ~thresholds:th design ~pi:pi'
                 in
                 ignore (Sta.reanalyze fresh : Timing.stats);
@@ -471,11 +527,142 @@ let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
               end
             end
           in
+          (match prune with
+           | None -> ()
+           | Some _ ->
+             Printf.printf
+               "proximity pruning: %d cell evaluations took the \
+                never-proximate fast path\n"
+               (Sta.pruned_evaluations ir));
           let cs = factory.Sta.factory_stats () in
           Printf.printf "model cache: %d hits, %d misses, %d entries\n"
             cs.Memo_cache.hits cs.Memo_cache.misses cs.Memo_cache.entries;
           if eco_ok then 0 else 1
         end))
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+
+(* --pi-window: a bare PS value sets the global arrival-time window,
+   NET=PS overrides it for one net *)
+let parse_window_spec s =
+  let bad () =
+    Error
+      (`Msg
+        (Printf.sprintf "bad window %s (expected PS or NET=PS, e.g. 25 or a=25)"
+           s))
+  in
+  match String.index_opt s '=' with
+  | None -> (
+    match float_of_string_opt s with
+    | Some ps when ps >= 0. -> Ok (`Global (ps *. 1e-12))
+    | Some _ | None -> bad ())
+  | Some i -> (
+    let net = String.sub s 0 i in
+    let v = String.sub s (i + 1) (String.length s - i - 1) in
+    match float_of_string_opt v with
+    | Some ps when ps >= 0. && net <> "" -> Ok (`Net (net, ps *. 1e-12))
+    | Some _ | None -> bad ())
+
+let parse_code_filter s =
+  let names =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun n -> n <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: tl -> (
+      match Diagnostic.code_of_name n with
+      | Some c -> go (c :: acc) tl
+      | None -> Error (`Msg (Printf.sprintf "unknown diagnostic code %s" n)))
+  in
+  go [] names
+
+let run_verify file pi_specs window_specs tau_window_ps mode models_kind
+    format fail_on codes_filter =
+  let tech = Tech.generic_5v in
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error m ->
+    prerr_endline m;
+    1
+  | text -> (
+    match Netlist_text.parse tech text with
+    | Error m ->
+      prerr_endline m;
+      1
+    | Ok (name, design) -> (
+      match
+        ( parse_all parse_pi_spec [] pi_specs,
+          parse_all parse_window_spec [] window_specs,
+          Option.fold ~none:(Ok None)
+            ~some:(fun s -> Result.map Option.some (parse_code_filter s))
+            codes_filter )
+      with
+      | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
+        prerr_endline m;
+        2
+      | Ok [], _, _ ->
+        prerr_endline "proxim verify: need at least one --pi event";
+        2
+      | Ok pi, Ok windows, Ok codes ->
+        let raw = Netlist_text.parse_raw tech text in
+        let th =
+          match raw.Netlist_text.raw_thresholds with
+          | Some (th, _) -> th
+          | None -> (
+            match Design.cells design with
+            | c :: _ -> Vtc.thresholds c.Design.gate
+            | [] -> (
+              match Gate.of_name tech "inv" with
+              | Ok g -> Vtc.thresholds g
+              | Error m -> failwith m))
+        in
+        let global =
+          List.fold_left
+            (fun acc -> function `Global w -> w | `Net _ -> acc)
+            0. windows
+        in
+        let window_for net =
+          List.fold_left
+            (fun acc -> function
+              | `Net (n, w) when n = net -> w
+              | `Net _ | `Global _ -> acc)
+            global windows
+        in
+        let tau_window = tau_window_ps *. 1e-12 in
+        let events =
+          List.map
+            (fun (net, a) ->
+              Verify.of_sta_event ~time_window:(window_for net) ~tau_window
+                (net, a))
+            pi
+        in
+        let factory =
+          match models_kind with
+          | `Oracle -> Sta.oracle_factory design th
+          | `Synthetic -> Sta.synthetic_factory ()
+        in
+        let v =
+          Verify.analyze ~mode ~models:factory.Sta.models ~thresholds:th
+            design ~pi:events
+        in
+        let diags =
+          let all = Verify.check ~file v in
+          match codes with
+          | None -> all
+          | Some cs -> Diagnostic.filter_codes cs all
+        in
+        (match format with
+         | `Text ->
+           let s = Verify.summary v in
+           Printf.printf
+             "design %s: %d cells, %d switching; never-proximate %d, \
+              always-proximate %d, may-be-proximate %d\n"
+             name s.Verify.total_cells s.Verify.switching_cells s.Verify.never
+             s.Verify.always s.Verify.may;
+           print_string (Diagnostic.report_text diags)
+         | `Json -> print_endline (Diagnostic.report_json_string diags));
+        Diagnostic.exit_code ~fail_on diags))
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
@@ -677,15 +864,113 @@ let sta_cmd =
             "After the incremental update, rerun a full analysis of the \
              edited design and fail unless the two agree bit-for-bit.")
   in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Disable the static never-proximate pruning that proximity-mode \
+             analyses apply by default (the pruned analysis is bit-identical \
+             by construction; this flag exists to measure it).")
+  in
   Cmd.v
     (Cmd.info "sta"
        ~doc:
          "Static timing analysis of a netlist: arrivals, K-worst paths, \
           slacks, incremental (ECO) re-analysis")
     Term.(
-      const (fun () f p m k pk r e v -> run_sta f p m k pk r e v)
+      const (fun () f p m k pk r e v np -> run_sta f p m k pk r e v np)
       $ domains_setup $ file $ pi $ mode $ models $ paths $ required $ eco
-      $ verify_eco)
+      $ verify_eco $ no_prune)
+
+let verify_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Netlist (.ntl) to verify.")
+  in
+  let pi =
+    Arg.(
+      value & opt_all string []
+      & info [ "pi" ] ~docv:"EVENT"
+          ~doc:
+            "Primary-input event as net:edge:tau_ps:cross_ps (repeatable), \
+             e.g. --pi a:fall:500:0.")
+  in
+  let windows =
+    Arg.(
+      value & opt_all string []
+      & info [ "pi-window" ] ~docv:"PS|NET=PS"
+          ~doc:
+            "Arrival-time uncertainty window, ±PS picoseconds (repeatable): \
+             a bare value applies to every event, NET=PS overrides one net. \
+             Default ±0 (the concrete events).")
+  in
+  let tau_window =
+    Arg.(
+      value & opt float 0.
+      & info [ "tau-window" ] ~docv:"PS"
+          ~doc:"Transition-time uncertainty window, ±PS, for every event.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum [ ("classic", Sta.Classic); ("proximity", Sta.Proximity) ])
+          Sta.Proximity
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Analysis mode the intervals abstract: proximity (default) or \
+             classic.")
+  in
+  let models =
+    Arg.(
+      value
+      & opt (enum [ ("oracle", `Oracle); ("synthetic", `Synthetic) ]) `Synthetic
+      & info [ "models" ] ~docv:"KIND"
+          ~doc:
+            "Cell models: synthetic (fast analytic stand-ins, default) or \
+             oracle (golden-simulator backed).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: text or json.")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("warning", Diagnostic.Warning); ("error", Diagnostic.Error) ])
+          Diagnostic.Warning
+      & info [ "fail-on" ] ~docv:"SEV"
+          ~doc:
+            "Lowest severity that makes the exit status nonzero: warning \
+             (default) or error.")
+  in
+  let codes =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "codes" ] ~docv:"CODES"
+          ~doc:
+            "Comma-separated diagnostic codes to keep (e.g. PX301,PX304); \
+             everything else is dropped from the report and the exit \
+             status.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Static proximity verification: interval abstract interpretation \
+          over the timing graph, PX3xx diagnostics")
+    Term.(
+      const (fun () f p w tw m mk fmt fo c ->
+          run_verify f p w tw m mk fmt fo c)
+      $ domains_setup $ file $ pi $ windows $ tau_window $ mode $ models
+      $ format $ fail_on $ codes)
 
 let storage_cmd =
   let fan_in = Arg.(value & opt int 3 & info [ "fan-in" ]) in
@@ -697,7 +982,7 @@ let () =
   let doc = "temporal-proximity gate delay modeling (DAC'96 reproduction)" in
   let main =
     Cmd.group (Cmd.info "proxim" ~version:"1.0.0" ~doc)
-      [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; sta_cmd; storage_cmd;
-        lint_cmd ]
+      [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; sta_cmd; verify_cmd;
+        storage_cmd; lint_cmd ]
   in
   exit (Cmd.eval' main)

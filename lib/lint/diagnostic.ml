@@ -40,6 +40,11 @@ type code =
   | PX206
   | PX207
   | PX208
+  (* PX3xx: static proximity verification (interval analysis) *)
+  | PX301
+  | PX302
+  | PX303
+  | PX304
 
 let all_codes =
   [
@@ -47,6 +52,7 @@ let all_codes =
     PX100; PX101; PX102; PX103; PX104; PX105; PX106; PX107; PX108;
     PX110; PX111; PX112; PX113;
     PX201; PX202; PX203; PX204; PX205; PX206; PX207; PX208;
+    PX301; PX302; PX303; PX304;
   ]
 
 let code_name = function
@@ -75,6 +81,10 @@ let code_name = function
   | PX206 -> "PX206"
   | PX207 -> "PX207"
   | PX208 -> "PX208"
+  | PX301 -> "PX301"
+  | PX302 -> "PX302"
+  | PX303 -> "PX303"
+  | PX304 -> "PX304"
 
 let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes
 
@@ -87,6 +97,8 @@ let default_severity = function
   | PX201 | PX202 | PX203 | PX207 -> Error
   | PX204 | PX205 | PX206 -> Warning
   | PX208 -> Info
+  | PX303 -> Error
+  | PX301 | PX302 | PX304 -> Warning
 
 let code_doc = function
   | PX001 ->
@@ -122,14 +134,27 @@ let code_doc = function
      the s_ab = Delta_a - Delta_b crossover"
   | PX207 -> "dual table references a pin/edge with no single-input table"
   | PX208 -> "incomplete single-table coverage over the gate's pins/edges"
+  | PX301 ->
+    "separation interval straddles the dominance crossover s_ab = Delta_a - \
+     Delta_b: the delay estimate is discontinuity-sensitive"
+  | PX302 ->
+    "reachable transition-time interval exceeds the characterized table \
+     coverage: queries extrapolate (clamp) silently"
+  | PX303 ->
+    "interval lower bound yields a negative pin-to-output delay under the \
+     §2 thresholds"
+  | PX304 ->
+    "unconstrained primary input feeds a proximity-sensitive cone: the \
+     analysis assumes it is quiet"
 
 type location = {
   file : string option;
   line : int option;
+  col : int option;
   context : string option;
 }
 
-let no_loc = { file = None; line = None; context = None }
+let no_loc = { file = None; line = None; col = None; context = None }
 
 type t = {
   code : code;
@@ -138,13 +163,13 @@ type t = {
   message : string;
 }
 
-let make ?severity ?file ?line ?context code fmt =
+let make ?severity ?file ?line ?col ?context code fmt =
   Printf.ksprintf
     (fun message ->
       {
         code;
         severity = Option.value severity ~default:(default_severity code);
-        location = { file; line; context };
+        location = { file; line; col; context };
         message;
       })
     fmt
@@ -152,16 +177,25 @@ let make ?severity ?file ?line ?context code fmt =
 (* --- ordering and summaries ----------------------------------------- *)
 
 let sort diags =
-  (* stable sort by (file, line, code): keeps a readable report while
-     preserving emission order inside one location *)
+  (* total order by (file, line, col, code, severity, context, message):
+     two distinct diagnostics never compare equal, so the report order is
+     fully deterministic whatever order the passes emitted them in *)
   List.stable_sort
     (fun a b ->
-      match compare a.location.file b.location.file with
-      | 0 -> (
-        match compare a.location.line b.location.line with
-        | 0 -> compare (code_name a.code) (code_name b.code)
-        | c -> c)
-      | c -> c)
+      let cmp =
+        List.find_opt
+          (fun c -> c <> 0)
+          [
+            compare a.location.file b.location.file;
+            compare a.location.line b.location.line;
+            compare a.location.col b.location.col;
+            compare (code_name a.code) (code_name b.code);
+            compare a.severity b.severity;
+            compare a.location.context b.location.context;
+            compare a.message b.message;
+          ]
+      in
+      Option.value cmp ~default:0)
     diags
 
 let count diags =
@@ -187,14 +221,24 @@ let exit_code ?(fail_on = Warning) diags =
   | Some Warning -> if fail_on = Error then 0 else 1
   | Some Info | None -> 0
 
+let filter_codes codes diags =
+  match codes with
+  | [] -> diags
+  | _ -> List.filter (fun d -> List.mem d.code codes) diags
+
 (* --- text reporter --------------------------------------------------- *)
 
 let pp ppf d =
   let where =
+    let colpart =
+      match d.location.col with
+      | Some c -> Printf.sprintf ":%d" c
+      | None -> ""
+    in
     match (d.location.file, d.location.line) with
-    | Some f, Some l -> Printf.sprintf "%s:%d: " f l
+    | Some f, Some l -> Printf.sprintf "%s:%d%s: " f l colpart
     | Some f, None -> f ^ ": "
-    | None, Some l -> Printf.sprintf "line %d: " l
+    | None, Some l -> Printf.sprintf "line %d%s: " l colpart
     | None, None -> ""
   in
   let ctx =
@@ -238,6 +282,7 @@ let to_json d =
     (base
     @ opt "file" (fun f -> Json.String f) d.location.file
     @ opt "line" (fun l -> Json.Number (float_of_int l)) d.location.line
+    @ opt "col" (fun c -> Json.Number (float_of_int c)) d.location.col
     @ opt "context" (fun c -> Json.String c) d.location.context)
 
 let of_json j =
@@ -257,6 +302,9 @@ let of_json j =
               line =
                 Option.map int_of_float
                   (Option.bind (Json.member "line" j) Json.to_number);
+              col =
+                Option.map int_of_float
+                  (Option.bind (Json.member "col" j) Json.to_number);
               context = str "context";
             };
         }

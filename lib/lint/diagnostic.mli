@@ -15,7 +15,11 @@
       outputs);
     - [PX2xx] — characterized model-store sanity (finiteness,
       monotonicity, proximity-window saturation, dominance
-      consistency). *)
+      consistency);
+    - [PX3xx] — static proximity-verification findings produced by the
+      interval abstract interpretation ([Proxim_verify]): dominance
+      crossover straddles, table-coverage escapes, negative-delay bounds,
+      unconstrained inputs in proximity-sensitive cones. *)
 
 type severity = Info | Warning | Error
 (** Ordered: [Info < Warning < Error] (the polymorphic compare order). *)
@@ -51,6 +55,12 @@ type code =
   | PX206  (** dominance-crossover inconsistency between paired duals *)
   | PX207  (** dual table missing its single-input tables *)
   | PX208  (** incomplete single-table pin/edge coverage *)
+  | PX301
+      (** separation interval straddles the dominance crossover
+          [s_ab = Delta_a - Delta_b] *)
+  | PX302  (** reachable intervals exceed characterized table coverage *)
+  | PX303  (** interval lower bound gives a negative pin-to-output delay *)
+  | PX304  (** unconstrained primary input in a proximity-sensitive cone *)
 
 val all_codes : code list
 (** Every code, ascending. *)
@@ -69,6 +79,7 @@ val code_doc : code -> string
 type location = {
   file : string option;
   line : int option;
+  col : int option;  (** 1-based column, when the source pass knows one *)
   context : string option;  (** cell / net / curve / table name *)
 }
 
@@ -85,6 +96,7 @@ val make :
   ?severity:severity ->
   ?file:string ->
   ?line:int ->
+  ?col:int ->
   ?context:string ->
   code ->
   ('a, unit, string, t) format4 ->
@@ -93,7 +105,9 @@ val make :
     message; [severity] defaults to {!default_severity}. *)
 
 val sort : t list -> t list
-(** Stable order by (file, line, code) — the report order. *)
+(** Total order by (file, line, col, code, severity, context, message) —
+    the report order.  Distinct diagnostics never tie, so the rendered
+    reports are byte-deterministic regardless of emission order. *)
 
 val count : t list -> int * int * int
 (** [(errors, warnings, infos)]. *)
@@ -106,8 +120,12 @@ val exit_code : ?fail_on:severity -> t list -> int
     [~fail_on:Error]), [0] otherwise.  [fail_on] defaults to
     [Warning]. *)
 
+val filter_codes : code list -> t list -> t list
+(** Keep only the diagnostics whose code is listed; an empty list keeps
+    everything (the [--codes] CLI filter). *)
+
 val pp : Format.formatter -> t -> unit
-(** One line: [file:line: severity[PXnnn]: message [context]]. *)
+(** One line: [file:line:col: severity[PXnnn]: message [context]]. *)
 
 val report_text : t list -> string
 (** Sorted one-per-line rendering followed by an

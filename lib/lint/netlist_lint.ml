@@ -9,12 +9,13 @@ let default_options = { fanout_limit = 8 }
 let check_raw ?(options = default_options) ?file (raw : Netlist_text.raw) =
   let diags = ref [] in
   let add d = diags := d :: !diags in
-  let mk ?severity ?line ?context code fmt =
-    Diagnostic.make ?severity ?file ?line ?context code fmt
+  let mk ?severity ?line ?col ?context code fmt =
+    Diagnostic.make ?severity ?file ?line ?col ?context code fmt
   in
   (* PX100: everything the scanner could not make sense of *)
   List.iter
-    (fun (line, msg) -> add (mk ~line PX100 "%s" msg))
+    (fun (e : Netlist_text.raw_error) ->
+      add (mk ~line:e.err_line ~col:e.err_col PX100 "%s" e.err_msg))
     raw.Netlist_text.raw_errors;
   (* PX108 *)
   if raw.Netlist_text.raw_name = None then
@@ -44,9 +45,10 @@ let check_raw ?(options = default_options) ?file (raw : Netlist_text.raw) =
       let got = List.length c.Netlist_text.inputs in
       if got <> want then
         add
-          (mk ~line:c.Netlist_text.line ~context:c.Netlist_text.cell_name
-             PX102 "gate %s wants %d inputs, got %d"
-             c.Netlist_text.gate.Gate.name want got))
+          (mk ~line:c.Netlist_text.line ~col:c.Netlist_text.gate_col
+             ~context:c.Netlist_text.cell_name PX102
+             "gate %s wants %d inputs, got %d" c.Netlist_text.gate.Gate.name
+             want got))
     cells;
   (* drivers: PX103 (double drivers), PX104 (driven primary inputs) *)
   let driver : (string, Netlist_text.raw_cell) Hashtbl.t = Hashtbl.create 16 in

@@ -5,6 +5,7 @@ module Memo_cache = Proxim_util.Memo_cache
 type t = {
   fan_in : int;
   name : string;
+  tau_range : (float * float) option;
   cache_stats : unit -> Memo_cache.stats;
   assist : edge:Measure.edge -> pins:int list -> bool;
   delay1 : pin:int -> edge:Measure.edge -> tau:float -> float;
@@ -83,6 +84,7 @@ let synthetic ?(seed = 0) ?(spread = 0.1) ?(work = 0) gate =
   {
     fan_in = gate.Gate.fan_in;
     name = Printf.sprintf "synthetic:%s#%d" gate.Gate.name seed;
+    tau_range = None;
     cache_stats = (fun () -> Memo_cache.stats cache);
     assist = (fun ~edge ~pins -> assist_of ~edge ~pins);
     delay1 =
@@ -134,6 +136,7 @@ let of_oracle ?opts ?load gate th =
   {
     fan_in = gate.Gate.fan_in;
     name = "oracle:" ^ gate.Gate.name;
+    tau_range = None;
     cache_stats =
       (fun () ->
         merge_stats
@@ -171,9 +174,18 @@ let of_tables ?opts ?taus ?x_tau ?x_sep ?(share_others = false) ?pool gate th =
       Dual.build ?x_tau ?x_sep ?opts ?pool gate th ~single_dom ~single_other
         ~other)
   in
+  let tau_axis = Option.value taus ~default:Single.default_taus in
+  let tau_range =
+    if Array.length tau_axis = 0 then None
+    else
+      Some
+        (Array.fold_left min tau_axis.(0) tau_axis,
+         Array.fold_left max tau_axis.(0) tau_axis)
+  in
   {
     fan_in = gate.Gate.fan_in;
     name = "tables:" ^ gate.Gate.name;
+    tau_range;
     cache_stats =
       (fun () ->
         merge_stats (Memo_cache.stats singles) (Memo_cache.stats duals));
@@ -196,3 +208,71 @@ let of_tables ?opts ?taus ?x_tau ?x_sep ?(share_others = false) ?pool gate th =
           ~single_dom:(single ~pin:dom ~edge)
           ~single_other:(single ~pin:other ~edge) ~tau_dom ~tau_other ~sep);
   }
+
+(* --- sampled interval bounds ------------------------------------------- *)
+
+(* The abstract interpreter ([Proxim_verify]) needs conservative lower and
+   upper bounds of each oracle over a box of arguments.  The oracles are
+   opaque closures, so we bound by sampling: evaluate on a small grid over
+   the box, take the observed min/max, and widen both ends by a fraction
+   of the observed spread as a safety margin against curvature between
+   sample points.  A degenerate box (every axis a single point) is a
+   single evaluation with zero spread, so the bounds are exact — with ±0
+   PI windows the interval analysis reproduces the concrete STA. *)
+
+let widen_frac = 0.25
+
+(* grid points over [lo, hi]: the endpoints always, [n] points total when
+   the axis has width, plus any [extra] interior landmarks (e.g. sep = 0,
+   where the gating influence peaks) *)
+let axis ?(extra = []) n (lo, hi) =
+  if not (hi > lo) then [ lo ]
+  else
+    let pts =
+      List.init n (fun i ->
+        lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+    in
+    pts @ List.filter (fun x -> lo < x && x < hi) extra
+
+let widen (lo, hi) =
+  let m = widen_frac *. (hi -. lo) in
+  (lo -. m, hi +. m)
+
+let bounds_over pts f =
+  match pts with
+  | [] -> invalid_arg "Models.bounds_over: empty sample set"
+  | p0 :: rest ->
+    let v0 = f p0 in
+    widen
+      (List.fold_left
+         (fun (lo, hi) p ->
+           let v = f p in
+           (min lo v, max hi v))
+         (v0, v0) rest)
+
+let bounds1 oracle ~pin ~edge ~tau =
+  bounds_over (axis 5 tau) (fun tau -> oracle ~pin ~edge ~tau)
+
+let delay1_bounds t ~pin ~edge ~tau = bounds1 t.delay1 ~pin ~edge ~tau
+let trans1_bounds t ~pin ~edge ~tau = bounds1 t.trans1 ~pin ~edge ~tau
+
+let bounds2 oracle ~dom ~other ~edge ~tau_dom ~tau_other ~sep =
+  let taus_d = axis 3 tau_dom in
+  let taus_o = axis 3 tau_other in
+  let seps = axis ~extra:[ 0. ] 7 sep in
+  let pts =
+    List.concat_map
+      (fun td ->
+        List.concat_map
+          (fun to_ -> List.map (fun s -> (td, to_, s)) seps)
+          taus_o)
+      taus_d
+  in
+  bounds_over pts (fun (tau_dom, tau_other, sep) ->
+    oracle ~dom ~other ~edge ~tau_dom ~tau_other ~sep)
+
+let delay2_bounds t ~dom ~other ~edge ~tau_dom ~tau_other ~sep =
+  bounds2 t.delay2 ~dom ~other ~edge ~tau_dom ~tau_other ~sep
+
+let trans2_bounds t ~dom ~other ~edge ~tau_dom ~tau_other ~sep =
+  bounds2 t.trans2 ~dom ~other ~edge ~tau_dom ~tau_other ~sep

@@ -9,6 +9,12 @@
 type t = {
   fan_in : int;
   name : string;
+  tau_range : (float * float) option;
+      (** the characterized input-transition-time span, when the model is
+          table-backed ({!of_tables}): queries outside it clamp silently
+          (PCHIP extrapolation policy).  [None] for {!synthetic} /
+          {!of_oracle}, which evaluate at any [tau].  The verify layer
+          raises PX302 when reachable intervals escape this span. *)
   cache_stats : unit -> Proxim_util.Memo_cache.stats;
       (** hit/miss/entry counters of the model's internal memoization
           (merged over the single- and dual-input caches).  [hits] counts
@@ -108,3 +114,51 @@ val of_tables :
     table per (dominant pin, edge), built against a representative other
     pin and reused for every other input — [2n] tables total instead of
     [n^2].  The ablation bench quantifies the accuracy cost. *)
+
+(** {2 Sampled interval bounds}
+
+    Conservative [(lo, hi)] envelopes of the four oracles over boxes of
+    arguments, for the interval abstract interpreter ([Proxim_verify]).
+    Each axis is an inclusive [(lo, hi)] interval.  Bounds are obtained
+    by sampling a small grid over the box (endpoints always included; the
+    separation axis additionally samples [sep = 0] when the box straddles
+    it, where gating influence peaks) and widening the observed min/max
+    by a fraction of the observed spread as a curvature margin.  A
+    degenerate box — every axis a single point — is one evaluation with
+    zero spread, so the bounds are {e exact}: with ±0 PI windows the
+    interval analysis collapses onto the concrete STA.  All evaluations
+    go through the model's own memoized closures. *)
+
+val delay1_bounds :
+  t ->
+  pin:int ->
+  edge:Proxim_measure.Measure.edge ->
+  tau:float * float ->
+  float * float
+
+val trans1_bounds :
+  t ->
+  pin:int ->
+  edge:Proxim_measure.Measure.edge ->
+  tau:float * float ->
+  float * float
+
+val delay2_bounds :
+  t ->
+  dom:int ->
+  other:int ->
+  edge:Proxim_measure.Measure.edge ->
+  tau_dom:float * float ->
+  tau_other:float * float ->
+  sep:float * float ->
+  float * float
+
+val trans2_bounds :
+  t ->
+  dom:int ->
+  other:int ->
+  edge:Proxim_measure.Measure.edge ->
+  tau_dom:float * float ->
+  tau_other:float * float ->
+  sep:float * float ->
+  float * float

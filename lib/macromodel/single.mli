@@ -22,6 +22,12 @@ val samples : t -> float array * float array * float array
     copies, in axis order.  Exposed for the diagnostics layer
     ({!Proxim_lint}) and the storage-complexity accounting. *)
 
+val default_taus : float array
+(** The default [build] sweep: 16 log-spaced input transition times over
+    20 ps..5 ns.  Exported so coverage checks ({!Proxim_lint},
+    [Proxim_verify]) know the characterized span when [build] was called
+    without [taus]. *)
+
 val build :
   ?taus:float array ->
   ?opts:Proxim_spice.Options.t ->

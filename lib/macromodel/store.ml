@@ -72,6 +72,9 @@ let to_models gate set =
   {
     Models.fan_in;
     name = "store:" ^ set.gate_name;
+    (* the archive records normalized-argument knots, not the tau sweep
+       that produced them, so the characterized tau span is unknown *)
+    tau_range = None;
     cache_stats =
       (fun () -> { Proxim_util.Memo_cache.hits = 0; misses = 0; entries = 0 });
     assist =

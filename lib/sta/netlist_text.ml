@@ -3,11 +3,14 @@ module Vtc = Proxim_vtc.Vtc
 
 type raw_cell = {
   line : int;
+  gate_col : int;
   cell_name : string;
   gate : Gate.t;
   inputs : string list;
   output : string;
 }
+
+type raw_error = { err_line : int; err_col : int; err_msg : string }
 
 type raw = {
   raw_name : (string * int) option;
@@ -15,7 +18,7 @@ type raw = {
   raw_outputs : (string * int) list;
   raw_cells : raw_cell list;
   raw_thresholds : (Vtc.thresholds * int) option;
-  raw_errors : (int * string) list;
+  raw_errors : raw_error list;
 }
 
 type accum = {
@@ -24,14 +27,29 @@ type accum = {
   mutable r_outputs : (string * int) list;  (** reversed *)
   mutable r_cells : raw_cell list;  (** reversed *)
   mutable r_thresholds : (Vtc.thresholds * int) option;
-  mutable r_errors : (int * string) list;  (** reversed *)
+  mutable r_errors : raw_error list;  (** reversed *)
   mutable r_ended : bool;
 }
 
+(* '\r' counts as whitespace so CRLF (and stray mid-line carriage
+   returns) parse the same as LF files without shifting any column. *)
+let is_ws c = c = ' ' || c = '\t' || c = '\r'
+
+(* Tokens paired with their 1-based starting column in the line. *)
 let tokens line =
-  String.split_on_char ' ' line
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun t -> t <> "")
+  let n = String.length line in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if is_ws line.[i] then go (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && not (is_ws line.[!j]) do
+        incr j
+      done;
+      go !j ((String.sub line i (!j - i), i + 1) :: acc)
+    end
+  in
+  go 0 []
 
 let strip_comment line =
   match String.index_opt line '#' with
@@ -39,7 +57,7 @@ let strip_comment line =
   | None -> line
 
 (* Scan the whole text, never stopping at a bad line: every syntax-level
-   problem lands in [raw_errors] with its line number, and everything
+   problem lands in [raw_errors] with its line and column, and everything
    that did parse is kept so the lint passes can analyze a broken file as
    a whole. *)
 let parse_raw tech text =
@@ -54,53 +72,75 @@ let parse_raw tech text =
       r_ended = false;
     }
   in
-  let err lineno fmt =
-    Printf.ksprintf (fun m -> acc.r_errors <- (lineno, m) :: acc.r_errors) fmt
+  let err lineno col fmt =
+    Printf.ksprintf
+      (fun m ->
+        acc.r_errors <-
+          { err_line = lineno; err_col = col; err_msg = m } :: acc.r_errors)
+      fmt
   in
   let parse_line lineno line =
     match tokens (strip_comment line) with
     | [] -> ()
-    | _ when acc.r_ended -> err lineno "content after 'end'"
-    | [ "design"; name ] -> (
+    | (_, col) :: _ when acc.r_ended -> err lineno col "content after 'end'"
+    | [ ("design", col); (name, _) ] -> (
       match acc.r_name with
-      | Some _ -> err lineno "duplicate 'design'"
+      | Some _ -> err lineno col "duplicate 'design'"
       | None -> acc.r_name <- Some (name, lineno))
-    | "input" :: nets when nets <> [] ->
+    | ("input", _) :: nets when nets <> [] ->
       acc.r_inputs <-
-        List.rev_append (List.map (fun n -> (n, lineno)) nets) acc.r_inputs
-    | "output" :: nets when nets <> [] ->
+        List.rev_append
+          (List.map (fun (n, _) -> (n, lineno)) nets)
+          acc.r_inputs
+    | ("output", _) :: nets when nets <> [] ->
       acc.r_outputs <-
-        List.rev_append (List.map (fun n -> (n, lineno)) nets) acc.r_outputs
-    | [ "thresholds"; vil_s; vih_s; vdd_s ] -> (
+        List.rev_append
+          (List.map (fun (n, _) -> (n, lineno)) nets)
+          acc.r_outputs
+    | [ ("thresholds", col); (vil_s, vil_col); (vih_s, vih_col); (vdd_s, vdd_col) ]
+      -> (
       match
         ( acc.r_thresholds,
           float_of_string_opt vil_s,
           float_of_string_opt vih_s,
           float_of_string_opt vdd_s )
       with
-      | Some _, _, _, _ -> err lineno "duplicate 'thresholds'"
+      | Some _, _, _, _ -> err lineno col "duplicate 'thresholds'"
       | None, Some vil, Some vih, Some vdd ->
         acc.r_thresholds <- Some ({ Vtc.vil; vih; vdd }, lineno)
-      | None, _, _, _ ->
-        err lineno "bad numbers in 'thresholds' (expected VIL VIH VDD)")
-    | "cell" :: name :: gate_name :: rest -> (
+      | None, vil, vih, _ ->
+        (* point at the first token that failed to parse as a number *)
+        let bad_col =
+          if vil = None then vil_col else if vih = None then vih_col
+          else vdd_col
+        in
+        err lineno bad_col
+          "bad numbers in 'thresholds' (expected VIL VIH VDD)")
+    | ("cell", cell_col) :: (name, _) :: (gate_name, gate_col) :: rest -> (
       match Gate.of_name tech gate_name with
-      | Error m -> err lineno "%s" m
+      | Error m -> err lineno gate_col "%s" m
       | Ok gate -> (
         let rec split_arrow before = function
-          | "->" :: [ out ] -> Some (List.rev before, out)
-          | "->" :: _ -> None
-          | t :: tl -> split_arrow (t :: before) tl
+          | ("->", _) :: [ (out, _) ] -> Some (List.rev before, out)
+          | ("->", _) :: _ -> None
+          | (t, _) :: tl -> split_arrow (t :: before) tl
           | [] -> None
         in
         match split_arrow [] rest with
-        | None -> err lineno "expected 'cell NAME GATE in... -> out'"
+        | None -> err lineno cell_col "expected 'cell NAME GATE in... -> out'"
         | Some (ins, out) ->
           acc.r_cells <-
-            { line = lineno; cell_name = name; gate; inputs = ins; output = out }
+            {
+              line = lineno;
+              gate_col;
+              cell_name = name;
+              gate;
+              inputs = ins;
+              output = out;
+            }
             :: acc.r_cells))
-    | [ "end" ] -> acc.r_ended <- true
-    | tok :: _ -> err lineno "unrecognized directive %S" tok
+    | [ ("end", _) ] -> acc.r_ended <- true
+    | (tok, col) :: _ -> err lineno col "unrecognized directive %S" tok
   in
   List.iteri (fun i line -> parse_line (i + 1) line) (String.split_on_char '\n' text);
   {
@@ -118,9 +158,13 @@ let arity_errors raw =
       let want = c.gate.Gate.fan_in and got = List.length c.inputs in
       if got <> want then
         Some
-          ( c.line,
-            Printf.sprintf "gate %s wants %d inputs, got %d" c.gate.Gate.name
-              want got )
+          {
+            err_line = c.line;
+            err_col = c.gate_col;
+            err_msg =
+              Printf.sprintf "gate %s wants %d inputs, got %d" c.gate.Gate.name
+                want got;
+          }
       else None)
     raw.raw_cells
 
@@ -136,14 +180,17 @@ let parse tech text =
   let raw = parse_raw tech text in
   let errors =
     List.sort
-      (fun (a, _) (b, _) -> compare a b)
+      (fun a b -> compare (a.err_line, a.err_col) (b.err_line, b.err_col))
       (raw.raw_errors @ arity_errors raw)
   in
   match errors with
   | _ :: _ ->
     Error
       (String.concat "\n"
-         (List.map (fun (l, m) -> Printf.sprintf "line %d: %s" l m) errors))
+         (List.map
+            (fun e ->
+              Printf.sprintf "line %d:%d: %s" e.err_line e.err_col e.err_msg)
+            errors))
   | [] -> (
     match raw.raw_name with
     | None -> Error "missing 'design' directive"

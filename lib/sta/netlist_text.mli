@@ -13,7 +13,8 @@
     v}
 
     One directive per line; [#] starts a comment; gate names follow
-    {!Proxim_gates.Gate.of_name}.  An optional
+    {!Proxim_gates.Gate.of_name}.  Both LF and CRLF line endings are
+    accepted ([\r] is plain whitespace to the scanner).  An optional
     [thresholds VIL VIH VDD] directive records the measurement threshold
     set the design is meant to be analyzed with — it does not affect
     {!parse}'s structural result, but the lint layer checks it against
@@ -23,11 +24,12 @@
     (cycles, double drivers, arity) are reported with the same messages.
     Syntax and arity problems are {e collected}: the parser keeps
     scanning after a bad line and the [Error] message joins every
-    line-numbered complaint (one per line, ["line N: ..."], in line
-    order). *)
+    complaint (one per line, ["line N:C: ..."] with a 1-based line and
+    column, in source order). *)
 
 type raw_cell = {
   line : int;  (** 1-based source line of the [cell] directive *)
+  gate_col : int;  (** 1-based column of the gate-name token *)
   cell_name : string;
   gate : Proxim_gates.Gate.t;
   inputs : string list;
@@ -36,14 +38,20 @@ type raw_cell = {
   output : string;
 }
 
+type raw_error = {
+  err_line : int;  (** 1-based source line *)
+  err_col : int;  (** 1-based column of the offending token *)
+  err_msg : string;
+}
+
 type raw = {
   raw_name : (string * int) option;  (** design name and its line *)
   raw_inputs : (string * int) list;  (** declared primary inputs, with lines *)
   raw_outputs : (string * int) list;
   raw_cells : raw_cell list;  (** only the cells that parsed, in file order *)
   raw_thresholds : (Proxim_vtc.Vtc.thresholds * int) option;
-  raw_errors : (int * string) list;
-      (** every syntax-level problem, line-numbered, in line order *)
+  raw_errors : raw_error list;
+      (** every syntax-level problem, located, in source order *)
 }
 (** The parsed-but-unvalidated form of a netlist file: everything the
     scanner could make sense of plus everything it could not.  This is

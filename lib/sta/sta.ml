@@ -114,6 +114,46 @@ let classic_verdict (m : Models.t) ~edge ~slew_scale inputs =
     candidates = candidates_of m ~edge ~out_time:time ~winner inputs;
   }
 
+(* Fast path for cells a static analysis proved never-proximate: the
+   dominant (earliest would-be) input alone decides the output, every
+   other input falls outside its transition window, and the correction
+   weight is zero.  Under those facts [Proximity.evaluate] computes
+   exactly [t_dom +. d1_dom] and [t1_dom] — the fold never fires a dual
+   query — so recomputing those two expressions here is bit-identical
+   while skipping the assist lookup, the dominance sort and the fold.
+   The winner scan keeps the first strict minimum in pin order, which is
+   where the stable dominance sort puts it; never-proximate verdicts
+   guarantee the minimum is unique anyway. *)
+let pruned_proximity_verdict (m : Models.t) ~edge ~slew_scale inputs =
+  let keyed =
+    List.map
+      (fun (i : Timing.input) ->
+        let d1 =
+          m.Models.delay1 ~pin:i.Timing.in_pin ~edge
+            ~tau:i.Timing.in_arrival.slew
+        in
+        (i, i.Timing.in_arrival.time +. d1))
+      inputs
+  in
+  let win, time =
+    match keyed with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun ((_, bt) as best) ((_, t) as k) -> if t < bt then k else best)
+        first rest
+  in
+  let t1 =
+    m.Models.trans1 ~pin:win.Timing.in_pin ~edge ~tau:win.Timing.in_arrival.slew
+  in
+  let out = { time; slew = t1 *. slew_scale; edge = Measure.opposite edge } in
+  let winner = win.Timing.in_pin in
+  {
+    Timing.out;
+    winner;
+    candidates = candidates_of m ~edge ~out_time:time ~winner inputs;
+  }
+
 let proximity_verdict (m : Models.t) ~edge ~slew_scale inputs =
   let r = Proximity.evaluate m (events_of_inputs inputs) in
   let time = r.Proximity.ref_cross +. r.Proximity.delay in
@@ -166,7 +206,8 @@ let collapsed_verdict variant ~design ~thresholds ~slew_scale cell ~edge inputs
            inputs);
   }
 
-let make_engine ~mode ~models ~thresholds ~design : Design.cell Timing.engine =
+let make_engine ~prune ~pruned_count ~mode ~models ~thresholds ~design :
+    Design.cell Timing.engine =
   (* macromodels consume full-swing ramp widths; measured output
      transitions span Vil..Vih only, so scale them up when they become the
      next stage's input slew *)
@@ -182,7 +223,11 @@ let make_engine ~mode ~models ~thresholds ~design : Design.cell Timing.engine =
         (match mode with
         | Classic -> classic_verdict (!models cell) ~edge ~slew_scale inputs
         | Proximity ->
-          proximity_verdict (!models cell) ~edge ~slew_scale inputs
+          if prune cell then begin
+            Atomic.incr pruned_count;
+            pruned_proximity_verdict (!models cell) ~edge ~slew_scale inputs
+          end
+          else proximity_verdict (!models cell) ~edge ~slew_scale inputs
         | Collapsed variant ->
           collapsed_verdict variant ~design ~thresholds ~slew_scale cell ~edge
             inputs)
@@ -194,6 +239,7 @@ type ir = {
   timing : Design.cell Timing.t;
   ir_mode : mode;
   models : (Design.cell -> Models.t) ref;
+  pruned_count : int Atomic.t;
 }
 
 let set_pi ir (net, a) =
@@ -201,15 +247,18 @@ let set_pi ir (net, a) =
   | None -> () (* a pi event for a net the design never mentions is inert *)
   | Some id -> Timing.set_source ir.timing ~net:id (Some a)
 
-let build_ir ?(mode = Proximity) ~models ~thresholds design ~pi =
+let build_ir ?(mode = Proximity) ?(prune = fun _ -> false) ~models ~thresholds
+    design ~pi =
   let models = ref models in
-  let engine = make_engine ~mode ~models ~thresholds ~design in
+  let pruned_count = Atomic.make 0 in
+  let engine = make_engine ~prune ~pruned_count ~mode ~models ~thresholds ~design in
   let ir =
     {
       design;
       timing = Timing.create (Design.graph design) ~engine;
       ir_mode = mode;
       models;
+      pruned_count;
     }
   in
   List.iter (set_pi ir) pi;
@@ -218,6 +267,7 @@ let build_ir ?(mode = Proximity) ~models ~thresholds design ~pi =
 let design ir = ir.design
 let timing ir = ir.timing
 let mode ir = ir.ir_mode
+let pruned_evaluations ir = Atomic.get ir.pruned_count
 
 let reanalyze ?pool ir = Timing.analyze ?pool ir.timing
 
@@ -300,8 +350,8 @@ let report_with ir ~heads =
 
 let report ir = report_with ir ~heads:(source_arrivals ir)
 
-let analyze ?(mode = Proximity) ?pool ~models ~thresholds design ~pi =
-  let ir = build_ir ~mode ~models ~thresholds design ~pi in
+let analyze ?(mode = Proximity) ?prune ?pool ~models ~thresholds design ~pi =
+  let ir = build_ir ~mode ?prune ~models ~thresholds design ~pi in
   ignore (reanalyze ?pool ir : Timing.stats);
   (* arrivals lead with the caller's pi list verbatim, like the historical
      hashtable-based analyzer did *)

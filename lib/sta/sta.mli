@@ -76,6 +76,7 @@ val po_slacks :
 
 val analyze :
   ?mode:mode ->
+  ?prune:(Design.cell -> bool) ->
   ?pool:Proxim_util.Pool.t ->
   models:(Design.cell -> Proxim_macromodel.Models.t) ->
   thresholds:Proxim_vtc.Vtc.thresholds ->
@@ -110,6 +111,7 @@ type ir
 
 val build_ir :
   ?mode:mode ->
+  ?prune:(Design.cell -> bool) ->
   models:(Design.cell -> Proxim_macromodel.Models.t) ->
   thresholds:Proxim_vtc.Vtc.thresholds ->
   Design.t ->
@@ -117,7 +119,19 @@ val build_ir :
   ir
 (** Create an un-propagated state with the given primary-input events
     applied ([pi] nets unknown to the design are ignored, like the
-    historical analyzer did).  Call {!reanalyze} to populate it. *)
+    historical analyzer did).  Call {!reanalyze} to populate it.
+
+    [prune] (default: never) marks cells a static analysis proved
+    {e never-proximate} under the current primary-input assumptions
+    (see [Proxim_verify.prune_mask]).  In [Proximity] mode those cells
+    take a single-input fast path — dominant would-be arrival and
+    single-input slew, no dominance sort, no dual-macromodel queries —
+    which is bit-identical to the full evaluation {e by construction of
+    the verdict} (the fold provably reduces to those expressions).  The
+    mask is only consulted in [Proximity] mode, and is only valid while
+    every primary-input event stays inside the uncertainty windows the
+    verification was run with: re-verify (or drop the mask) before
+    applying ECOs that move events outside them. *)
 
 val design : ir -> Design.t
 val timing : ir -> Design.cell Proxim_timing.Timing.t
@@ -125,6 +139,11 @@ val timing : ir -> Design.cell Proxim_timing.Timing.t
     verdicts and {!Proxim_timing.Paths}. *)
 
 val mode : ir -> mode
+
+val pruned_evaluations : ir -> int
+(** Cumulative count of cell evaluations answered by the never-proximate
+    fast path since {!build_ir} (0 unless a [prune] mask was given).
+    Incremented atomically — level-parallel analyses count exactly. *)
 
 val reanalyze : ?pool:Proxim_util.Pool.t -> ir -> Proxim_timing.Timing.stats
 (** Full from-scratch propagation of the current sources and models. *)

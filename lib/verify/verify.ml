@@ -1,0 +1,640 @@
+module Measure = Proxim_measure.Measure
+module Models = Proxim_macromodel.Models
+module Gate = Proxim_gates.Gate
+module Vtc = Proxim_vtc.Vtc
+module Proximity = Proxim_core.Proximity
+module Graph = Proxim_timing.Graph
+module Design = Proxim_sta.Design
+module Sta = Proxim_sta.Sta
+module Diagnostic = Proxim_lint.Diagnostic
+
+(* --- inputs ----------------------------------------------------------- *)
+
+type pi_event = {
+  ev_net : string;
+  ev_edge : Measure.edge;
+  ev_time : Interval.t;
+  ev_tau : Interval.t;
+}
+
+let tiny_slew = 1e-15
+
+let of_sta_event ?(time_window = 0.) ?(tau_window = 0.) (net, (a : Sta.arrival))
+    =
+  if time_window < 0. || tau_window < 0. then
+    invalid_arg "Verify.of_sta_event: negative window";
+  {
+    ev_net = net;
+    ev_edge = a.Sta.edge;
+    ev_time = Interval.make (a.Sta.time -. time_window) (a.Sta.time +. time_window);
+    ev_tau =
+      Interval.make
+        (max tiny_slew (a.Sta.slew -. tau_window))
+        (max tiny_slew (a.Sta.slew +. tau_window));
+  }
+
+(* --- results ----------------------------------------------------------- *)
+
+type aarrival = {
+  a_time : Interval.t;
+  a_slew : Interval.t;
+  a_edge : Measure.edge;
+}
+
+type classification = Never_proximate | Always_proximate | May_be_proximate
+
+let classification_name = function
+  | Never_proximate -> "never-proximate"
+  | Always_proximate -> "always-proximate"
+  | May_be_proximate -> "may-be-proximate"
+
+type pair_info = {
+  pr_a : int;
+  pr_b : int;
+  pr_class : classification;
+  pr_straddles : bool;
+  pr_separation : Interval.t;  (** t_b - t_a *)
+  pr_crossover : Interval.t;  (** Delta_a - Delta_b *)
+}
+
+type cell_info = {
+  ci_name : string;
+  ci_gate : string;
+  ci_edge : Measure.edge;
+  ci_switching : int list;
+  ci_assist : bool;
+  ci_class : classification;
+  ci_pairs : pair_info list;
+  ci_out : aarrival;
+  ci_neg_delay : (int * Interval.t) list;
+      (** switching pins whose single-input delay bound dips negative *)
+  ci_tau_escape : (int * Interval.t * (float * float)) list;
+      (** switching pins whose slew interval escapes the characterized
+          tau span of a table-backed model *)
+}
+
+type t = {
+  v_design : Design.t;
+  v_mode : Sta.mode;
+  v_arrivals : aarrival option array;
+  v_cells : cell_info option array;
+  v_unconstrained : string list;
+      (** quiet primary inputs whose fanout cone contains a switching
+          multi-input cell *)
+}
+
+(* --- abstract transfer: shared ----------------------------------------- *)
+
+(* per switching input of a cell *)
+type ainput = {
+  i_pin : int;
+  i_time : Interval.t;
+  i_tau : Interval.t;
+  i_d1 : Interval.t;
+  i_t1 : Interval.t;
+  i_wb : Interval.t;  (** would-be response: time + d1 *)
+}
+
+let slew_cap = 1e-6
+(* far above any reachable slew (concrete values are < ns scale): the
+   finite stand-in for "unbounded above" when a rate interval loses
+   positivity, so downstream arithmetic stays finite *)
+
+let trans_of_rate r =
+  if Interval.lo r > 0. then Interval.inv r
+  else if Interval.hi r > 0. then
+    Interval.make (1. /. Interval.hi r) slew_cap
+  else Interval.make tiny_slew slew_cap
+
+let ainput_of (m : Models.t) ~edge (pin, (a : aarrival)) =
+  let tau = Interval.pair a.a_slew in
+  let d1 = Interval.of_pair (Models.delay1_bounds m ~pin ~edge ~tau) in
+  let t1 = Interval.of_pair (Models.trans1_bounds m ~pin ~edge ~tau) in
+  {
+    i_pin = pin;
+    i_time = a.a_time;
+    i_tau = a.a_slew;
+    i_d1 = d1;
+    i_t1 = t1;
+    i_wb = Interval.add a.a_time d1;
+  }
+
+(* --- classic mode ------------------------------------------------------- *)
+
+(* latest single-input response wins; slew hull over every input whose
+   would-be can reach the maximum *)
+let classic_out ~slew_scale ~edge inputs =
+  let out_time =
+    List.fold_left
+      (fun acc i -> Interval.max2 acc i.i_wb)
+      (List.hd inputs).i_wb (List.tl inputs)
+  in
+  let max_lo =
+    List.fold_left (fun acc i -> max acc (Interval.lo i.i_wb)) neg_infinity
+      inputs
+  in
+  let out_slew =
+    List.filter (fun i -> Interval.hi i.i_wb >= max_lo) inputs
+    |> List.map (fun i -> i.i_t1)
+    |> function
+    | [] -> assert false
+    | s :: tl -> List.fold_left Interval.hull s tl
+  in
+  {
+    a_time = out_time;
+    a_slew = Interval.scale slew_scale out_slew;
+    a_edge = Measure.opposite edge;
+  }
+
+(* --- proximity mode ----------------------------------------------------- *)
+
+(* Abstract image of the Fig 4-1 fold with [yd] dominant (§3-§4):
+
+   The concrete fold threads a cumulative delay [d_cum] (started at the
+   dominant's Delta^(1)) and transition [t_cum] through the other inputs
+   in dominance order, testing each against the current transition
+   window and querying the dual models at the equivalent separation
+   [s* = s + Delta_ref - d_cum].  The processing order is not static
+   under intervals, so instead of simulating one order we bound the
+   whole trajectory:
+
+   - each other input's contribution is bounded as an interval, with the
+     branch (skipped / transition-only / full) resolved three-way
+     against the current global [d_cum]/[t_cum] hulls;
+   - any intermediate concrete [d_cum] is the reference delay plus a
+     sub-multiset of those contributions, so the running hull is the sum
+     of every contribution hulled with 0 (prefix-sum bound) — and in
+     rate space ([1/t]) the transition composition is additive too, so
+     [t_cum] gets the identical treatment;
+   - the window tests and [s*] depend on those hulls, so we iterate to a
+     fixpoint (the hulls only grow; the dual-model influence saturates
+     outside the proximity window, so growth stalls after a couple of
+     rounds; a safety cap bounds the loop).
+
+   The final output applies {e every} contribution (each one's branch
+   uncertainty is already inside its interval), which is tighter than
+   the running hull.  When every input interval is degenerate each
+   branch test is definite and every box is a point, so the result is
+   exact. *)
+let fold_abstract (m : Models.t) ~edge ~assist yd others =
+  let d1_ref = yd.i_d1 in
+  let t1_ref_pos = Interval.clamp_lo tiny_slew yd.i_t1 in
+  let inv_t1ref = Interval.inv t1_ref_pos in
+  let contributions d_hull rate_hull =
+    List.map
+      (fun yj ->
+        let s = Interval.sub yj.i_time yd.i_time in
+        let t_hull = trans_of_rate rate_hull in
+        let sum_dt = Interval.add d_hull t_hull in
+        if assist && Interval.lo s >= Interval.hi sum_dt then
+          (Interval.exact 0., Interval.exact 0.)
+        else begin
+          let may_skip = assist && Interval.hi s >= Interval.lo sum_dt in
+          let s_star = Interval.add s (Interval.sub d1_ref d_hull) in
+          let box =
+            ( Interval.pair yd.i_tau,
+              Interval.pair yj.i_tau,
+              Interval.pair s_star )
+          in
+          let tau_dom, tau_other, sep = box in
+          let t2 =
+            Interval.of_pair
+              (Models.trans2_bounds m ~dom:yd.i_pin ~other:yj.i_pin ~edge
+                 ~tau_dom ~tau_other ~sep)
+          in
+          let rc =
+            Interval.sub (Interval.inv (Interval.clamp_lo tiny_slew t2)) inv_t1ref
+          in
+          let rc = if may_skip then Interval.hull0 rc else rc in
+          let may_delay = (not assist) || Interval.lo s < Interval.hi d_hull in
+          let must_delay = (not assist) || Interval.hi s < Interval.lo d_hull in
+          let dc =
+            if not may_delay then Interval.exact 0.
+            else begin
+              let d2 =
+                Interval.of_pair
+                  (Models.delay2_bounds m ~dom:yd.i_pin ~other:yj.i_pin ~edge
+                     ~tau_dom ~tau_other ~sep)
+              in
+              let full = Interval.sub d2 d1_ref in
+              if must_delay && not may_skip then full else Interval.hull0 full
+            end
+          in
+          (dc, rc)
+        end)
+      others
+  in
+  let running base cs = List.fold_left (fun acc c -> Interval.add acc (Interval.hull0 c)) base cs in
+  let rec iterate n d_hull rate_hull =
+    let cs = contributions d_hull rate_hull in
+    let d' = running d1_ref (List.map fst cs) in
+    let r' = running inv_t1ref (List.map snd cs) in
+    if n = 0 || (Interval.subset d' d_hull && Interval.subset r' rate_hull)
+    then (cs, d_hull, rate_hull)
+    else iterate (n - 1) (Interval.hull d_hull d') (Interval.hull rate_hull r')
+  in
+  let cs, _, _ = iterate 12 d1_ref inv_t1ref in
+  let delay_out =
+    List.fold_left (fun acc (dc, _) -> Interval.add acc dc) d1_ref cs
+  in
+  let rate_out =
+    List.fold_left (fun acc (_, rc) -> Interval.add acc rc) inv_t1ref cs
+  in
+  (delay_out, trans_of_rate rate_out)
+
+(* the never-proximate lemma: input [i] with every other input provably
+   beyond its initial transition window is the unique dominant, and the
+   fold reduces to its single-input response.  [t_j - t_i >= D_i + T_i]
+   with positive delays/transitions forces [t_j + D_j > t_i + D_i]
+   strictly, so no sort-order tie-breaking is involved. *)
+let never_dominant inputs =
+  let positive i = Interval.lo i.i_d1 > 0. && Interval.lo i.i_t1 > 0. in
+  if not (List.for_all positive inputs) then None
+  else
+    List.find_opt
+      (fun i ->
+        let wnd = Interval.hi i.i_d1 +. Interval.hi i.i_t1 in
+        List.for_all
+          (fun j ->
+            j.i_pin = i.i_pin
+            || Interval.lo j.i_time -. Interval.hi i.i_time >= wnd)
+          inputs)
+      inputs
+
+let proximity_dominants ~assist inputs =
+  if assist then begin
+    let min_hi =
+      List.fold_left (fun acc i -> min acc (Interval.hi i.i_wb)) infinity
+        inputs
+    in
+    List.filter (fun i -> Interval.lo i.i_wb <= min_hi) inputs
+  end
+  else begin
+    let max_lo =
+      List.fold_left (fun acc i -> max acc (Interval.lo i.i_wb)) neg_infinity
+        inputs
+    in
+    List.filter (fun i -> Interval.hi i.i_wb >= max_lo) inputs
+  end
+
+let cell_classification ~assist inputs dominants =
+  match inputs with
+  | [ _ ] -> Never_proximate
+  | _ when not assist -> Always_proximate
+  | _ -> (
+    match never_dominant inputs with
+    | Some _ -> Never_proximate
+    | None -> (
+      match dominants with
+      | [ d ] ->
+        (* unique dominant with every other input provably inside its
+           initial window: the first-tested other is inside for sure,
+           so at least one dual query always fires *)
+        let definitely_in j =
+          j.i_pin = d.i_pin
+          || Interval.hi (Interval.sub j.i_time d.i_time)
+             < Interval.lo d.i_d1 +. Interval.lo d.i_t1
+        in
+        if List.for_all definitely_in inputs then Always_proximate
+        else May_be_proximate
+      | _ -> May_be_proximate))
+
+let pair_classification ~assist ~n_switching dominants a b =
+  let sep = Interval.sub b.i_time a.i_time in
+  let crossover = Interval.sub a.i_d1 b.i_d1 in
+  let straddles = Interval.intersects a.i_wb b.i_wb in
+  let is_dom i = List.exists (fun d -> d.i_pin = i.i_pin) dominants in
+  let cls =
+    if not assist then Always_proximate
+    else begin
+      let skip_under dom other =
+        Interval.lo (Interval.sub other.i_time dom.i_time)
+        >= Interval.hi dom.i_d1 +. Interval.hi dom.i_t1
+      in
+      let in_under dom other =
+        Interval.hi (Interval.sub other.i_time dom.i_time)
+        < Interval.lo dom.i_d1 +. Interval.lo dom.i_t1
+      in
+      if
+        ((not (is_dom a)) || skip_under a b)
+        && ((not (is_dom b)) || skip_under b a)
+      then Never_proximate
+      else if
+        (* only claim certainty on two-input cells, where the pair's
+           window test provably runs against the initial state *)
+        n_switching = 2
+        && ((is_dom a && (not (is_dom b)) && in_under a b)
+           || (is_dom b && (not (is_dom a)) && in_under b a)
+           || (is_dom a && is_dom b && in_under a b && in_under b a))
+      then Always_proximate
+      else May_be_proximate
+    end
+  in
+  {
+    pr_a = a.i_pin;
+    pr_b = b.i_pin;
+    pr_class = cls;
+    pr_straddles = straddles;
+    pr_separation = sep;
+    pr_crossover = crossover;
+  }
+
+let rec pairs_of = function
+  | [] | [ _ ] -> []
+  | a :: tl -> List.map (fun b -> (a, b)) tl @ pairs_of tl
+
+let proximity_out (m : Models.t) ~slew_scale ~edge inputs =
+  match inputs with
+  | [ i ] ->
+    {
+      a_time = i.i_wb;
+      a_slew = Interval.scale slew_scale i.i_t1;
+      a_edge = Measure.opposite edge;
+    }
+  | _ ->
+    let all_degenerate =
+      List.for_all
+        (fun i -> Interval.degenerate i.i_time && Interval.degenerate i.i_tau)
+        inputs
+    in
+    if all_degenerate then begin
+      (* exact inputs: run the concrete algorithm itself, so ±0 windows
+         reproduce the concrete STA bit-for-bit *)
+      let events =
+        List.map
+          (fun i ->
+            {
+              Proximity.pin = i.i_pin;
+              edge;
+              tau = Interval.lo i.i_tau;
+              cross_time = Interval.lo i.i_time;
+            })
+          inputs
+      in
+      let r = Proximity.evaluate m events in
+      {
+        a_time = Interval.exact (r.Proximity.ref_cross +. r.Proximity.delay);
+        a_slew = Interval.exact (r.Proximity.out_transition *. slew_scale);
+        a_edge = Measure.opposite edge;
+      }
+    end
+    else begin
+      let assist =
+        m.Models.assist ~edge ~pins:(List.map (fun i -> i.i_pin) inputs)
+      in
+      let dominants = proximity_dominants ~assist inputs in
+      let per_dominant =
+        List.map
+          (fun yd ->
+            let others =
+              List.filter (fun j -> j.i_pin <> yd.i_pin) inputs
+            in
+            let delay, trans = fold_abstract m ~edge ~assist yd others in
+            (Interval.add yd.i_time delay, trans))
+          dominants
+      in
+      match per_dominant with
+      | [] -> assert false
+      | (t0, s0) :: tl ->
+        let a_time, slew =
+          List.fold_left
+            (fun (ta, sa) (tb, sb) -> (Interval.hull ta tb, Interval.hull sa sb))
+            (t0, s0) tl
+        in
+        {
+          a_time;
+          a_slew = Interval.scale slew_scale slew;
+          a_edge = Measure.opposite edge;
+        }
+    end
+
+(* --- the analysis ------------------------------------------------------- *)
+
+let analyze ?(mode = Sta.Proximity) ~models ~thresholds design ~pi =
+  (match mode with
+   | Sta.Collapsed _ ->
+     invalid_arg "Proxim_verify: Collapsed mode is not supported"
+   | Sta.Classic | Sta.Proximity -> ());
+  let g = Design.graph design in
+  let slew_scale =
+    let th : Vtc.thresholds = thresholds in
+    th.Vtc.vdd /. (th.Vtc.vih -. th.Vtc.vil)
+  in
+  let arrivals : aarrival option array = Array.make (Graph.net_count g) None in
+  List.iter
+    (fun ev ->
+      match Graph.net_id g ev.ev_net with
+      | None -> () (* events for nets the design never mentions are inert *)
+      | Some id ->
+        if Graph.driver g ~net:id <> None then
+          invalid_arg
+            ("Proxim_verify.analyze: net " ^ ev.ev_net ^ " is driven by a cell")
+        else
+          arrivals.(id) <-
+            Some { a_time = ev.ev_time; a_slew = ev.ev_tau; a_edge = ev.ev_edge })
+    pi;
+  let infos : cell_info option array = Array.make (Graph.cell_count g) None in
+  let process c =
+    let cell = Graph.payload g c in
+    let switching =
+      Array.to_list (Graph.cell_inputs g c)
+      |> List.mapi (fun pin net ->
+           Option.map (fun a -> (pin, a)) arrivals.(net))
+      |> List.filter_map Fun.id
+    in
+    match switching with
+    | [] -> ()
+    | (_, first) :: rest ->
+      if List.exists (fun (_, a) -> a.a_edge <> first.a_edge) rest then
+        raise (Sta.Mixed_input_edges { cell = cell.Design.name });
+      let edge = first.a_edge in
+      let m = models cell in
+      let inputs = List.map (ainput_of m ~edge) switching in
+      let assist =
+        List.length inputs >= 2
+        && m.Models.assist ~edge ~pins:(List.map (fun i -> i.i_pin) inputs)
+      in
+      let out, cls, pairs =
+        match mode with
+        | Sta.Classic ->
+          (classic_out ~slew_scale ~edge inputs, Never_proximate, [])
+        | Sta.Proximity | Sta.Collapsed _ ->
+          let dominants = proximity_dominants ~assist inputs in
+          let n_switching = List.length inputs in
+          ( proximity_out m ~slew_scale ~edge inputs,
+            cell_classification ~assist inputs dominants,
+            List.map
+              (fun (a, b) ->
+                pair_classification ~assist ~n_switching dominants a b)
+              (pairs_of inputs) )
+      in
+      let neg_delay =
+        List.filter_map
+          (fun i ->
+            if Interval.lo i.i_d1 < 0. then Some (i.i_pin, i.i_d1) else None)
+          inputs
+      in
+      let tau_escape =
+        match m.Models.tau_range with
+        | None -> []
+        | Some (lo, hi) ->
+          List.filter_map
+            (fun i ->
+              if Interval.lo i.i_tau < lo || Interval.hi i.i_tau > hi then
+                Some (i.i_pin, i.i_tau, (lo, hi))
+              else None)
+            inputs
+      in
+      arrivals.(Graph.cell_output g c) <- Some out;
+      infos.(c) <-
+        Some
+          {
+            ci_name = cell.Design.name;
+            ci_gate = cell.Design.gate.Gate.name;
+            ci_edge = edge;
+            ci_switching = List.map (fun i -> i.i_pin) inputs;
+            ci_assist = assist;
+            ci_class = cls;
+            ci_pairs = pairs;
+            ci_out = out;
+            ci_neg_delay = neg_delay;
+            ci_tau_escape = tau_escape;
+          }
+  in
+  Array.iter process (Graph.topological g);
+  let unconstrained =
+    Array.to_list (Graph.primary_inputs g)
+    |> List.filter_map (fun net ->
+         if arrivals.(net) <> None then None
+         else begin
+           let cone = Graph.fanout_cone g ~nets:[ net ] ~cells:[] in
+           let sensitive =
+             Array.exists
+               (fun c ->
+                 cone.(c)
+                 && (match infos.(c) with
+                    | Some ci -> List.length ci.ci_switching >= 1
+                    | None -> false)
+                 && (Graph.payload g c).Design.gate.Gate.fan_in >= 2)
+               (Array.init (Graph.cell_count g) Fun.id)
+           in
+           if sensitive then Some (Graph.net_name g net) else None
+         end)
+  in
+  {
+    v_design = design;
+    v_mode = mode;
+    v_arrivals = arrivals;
+    v_cells = infos;
+    v_unconstrained = unconstrained;
+  }
+
+(* --- accessors ---------------------------------------------------------- *)
+
+let design t = t.v_design
+let mode t = t.v_mode
+
+let net_arrival t ~net =
+  Option.bind (Graph.net_id (Design.graph t.v_design) net) (fun id ->
+    t.v_arrivals.(id))
+
+let cell_info t ~cell =
+  Option.bind (Graph.cell_id (Design.graph t.v_design) cell) (fun id ->
+    t.v_cells.(id))
+
+let cells t =
+  Array.to_list (Graph.topological (Design.graph t.v_design))
+  |> List.filter_map (fun c -> t.v_cells.(c))
+
+let unconstrained_pis t = t.v_unconstrained
+
+type summary = {
+  total_cells : int;
+  switching_cells : int;
+  never : int;
+  always : int;
+  may : int;
+}
+
+let summary t =
+  let acc = { total_cells = Array.length t.v_cells;
+              switching_cells = 0; never = 0; always = 0; may = 0 } in
+  Array.fold_left
+    (fun acc -> function
+      | None -> acc
+      | Some ci ->
+        let acc = { acc with switching_cells = acc.switching_cells + 1 } in
+        (match ci.ci_class with
+         | Never_proximate -> { acc with never = acc.never + 1 }
+         | Always_proximate -> { acc with always = acc.always + 1 }
+         | May_be_proximate -> { acc with may = acc.may + 1 }))
+    acc t.v_cells
+
+let prune_mask t =
+  match t.v_mode with
+  | Sta.Classic | Sta.Collapsed _ -> fun _ -> false
+  | Sta.Proximity ->
+    let never = Hashtbl.create 64 in
+    Array.iter
+      (function
+        | Some ci when ci.ci_class = Never_proximate ->
+          Hashtbl.replace never ci.ci_name ()
+        | Some _ | None -> ())
+      t.v_cells;
+    fun (cell : Design.cell) -> Hashtbl.mem never cell.Design.name
+
+(* --- diagnostics -------------------------------------------------------- *)
+
+let ps i = Interval.scale 1e12 i
+
+let check ?file t =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  Array.iter
+    (function
+      | None -> ()
+      | Some ci ->
+        List.iter
+          (fun (pin, d1) ->
+            add
+              (Diagnostic.make ?file ~context:ci.ci_name Diagnostic.PX303
+                 "input pin %d: reachable single-input delay %s ps has a \
+                  negative lower bound — the measurement thresholds admit \
+                  negative pin-to-output delays (§2)"
+                 pin
+                 (Interval.to_string (ps d1))))
+          ci.ci_neg_delay;
+        List.iter
+          (fun (pin, tau, (lo, hi)) ->
+            add
+              (Diagnostic.make ?file ~context:ci.ci_name Diagnostic.PX302
+                 "input pin %d: reachable slew %s ps escapes the \
+                  characterized tau span [%g, %g] ps — table queries clamp \
+                  (silent extrapolation)"
+                 pin
+                 (Interval.to_string (ps tau))
+                 (lo *. 1e12) (hi *. 1e12)))
+          ci.ci_tau_escape;
+        List.iter
+          (fun p ->
+            if p.pr_straddles && p.pr_class <> Never_proximate then
+              add
+                (Diagnostic.make ?file ~context:ci.ci_name Diagnostic.PX301
+                   "inputs %d and %d: separation %s ps straddles the \
+                    dominance crossover s_ab = Delta_a - Delta_b = %s ps — \
+                    the delay estimate is discontinuity-sensitive near the \
+                    dominance flip"
+                   p.pr_a p.pr_b
+                   (Interval.to_string (ps p.pr_separation))
+                   (Interval.to_string (ps p.pr_crossover))))
+          ci.ci_pairs)
+    t.v_cells;
+  List.iter
+    (fun pi_net ->
+      add
+        (Diagnostic.make ?file ~context:pi_net Diagnostic.PX304
+         "primary input %s carries no event but feeds a proximity-sensitive \
+          cone — the analysis assumes it is quiet"
+         pi_net))
+    t.v_unconstrained;
+  Diagnostic.sort !diags

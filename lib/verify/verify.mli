@@ -1,0 +1,173 @@
+(** Static verification of proximity-delay analyses by interval abstract
+    interpretation over the timing-graph IR.
+
+    Where {!Proxim_sta.Sta} propagates one concrete event per net, this
+    module propagates {e intervals} of arrival times and transition
+    times: each primary input carries an uncertainty window (default
+    ±0), and every derived quantity — single-input would-be responses,
+    dominance separations, cumulative proximity delays, composed output
+    transitions — is bounded conservatively using the sampled interval
+    images of the macromodels
+    ({!Proxim_macromodel.Models.delay1_bounds} and friends).
+
+    Three products fall out of one topological pass:
+
+    - {b Reachability}: a sound arrival/slew interval per switching net
+      ({!net_arrival}) — every concrete STA whose primary-input events
+      stay inside their windows lands inside these bounds.
+    - {b Classification}: each switching multi-input cell, and each
+      ordered pair of its switching inputs, is classified
+      {!Never_proximate} / {!Always_proximate} / {!May_be_proximate}
+      against the paper's proximity window ([Delta^(1) + tau_out^(1)] of
+      the dominant input) and dominance crossover
+      [s_ab = Delta_a - Delta_b].  The never-proximate verdicts justify
+      {!prune_mask}.
+    - {b Diagnostics}: {!check} renders the PX3xx verification findings
+      ({!Proxim_lint.Diagnostic.PX301}..[PX304]) the same way
+      [Proxim_lint] renders its static netlist findings.
+
+    The abstract transfer functions are exact on degenerate (±0-window)
+    inputs — in that case the proximity transfer simply runs
+    {!Proxim_core.Proximity.evaluate}, so the interval analysis
+    reproduces the concrete STA bit-for-bit. *)
+
+(** {1 Inputs} *)
+
+type pi_event = {
+  ev_net : string;
+  ev_edge : Proxim_measure.Measure.edge;
+  ev_time : Interval.t;  (** threshold-crossing time window, s *)
+  ev_tau : Interval.t;  (** full-swing transition-time window, s *)
+}
+
+val of_sta_event :
+  ?time_window:float ->
+  ?tau_window:float ->
+  string * Proxim_sta.Sta.arrival ->
+  pi_event
+(** Widen a concrete primary-input event into an interval event:
+    [time ± time_window] and [slew ± tau_window] (both default [0.]; the
+    slew interval is floored at a tiny positive value).  Raises
+    [Invalid_argument] on a negative window. *)
+
+(** {1 Results} *)
+
+type aarrival = {
+  a_time : Interval.t;
+  a_slew : Interval.t;
+  a_edge : Proxim_measure.Measure.edge;
+}
+(** The abstract counterpart of {!Proxim_sta.Sta.arrival}. *)
+
+type classification = Never_proximate | Always_proximate | May_be_proximate
+(** Whether a cell (or an input pair) can exercise the dual-macromodel
+    proximity path under the given primary-input windows:
+
+    - [Never_proximate]: provably not — every admissible concrete run
+      has a unique dominant input whose transition window excludes all
+      other inputs, so the §3 fold degenerates to the dominant's
+      single-input response.  Sound for pruning.
+    - [Always_proximate]: provably yes in every admissible run (e.g. a
+      gating-direction cell with two switching inputs, or an assisting
+      pair certainly inside the dominant's window).
+    - [May_be_proximate]: neither bound could be established. *)
+
+val classification_name : classification -> string
+(** ["never-proximate"] / ["always-proximate"] / ["may-be-proximate"]. *)
+
+type pair_info = {
+  pr_a : int;  (** pin id of input [a] *)
+  pr_b : int;  (** pin id of input [b] *)
+  pr_class : classification;
+  pr_straddles : bool;
+      (** the separation interval straddles the dominance crossover:
+          both dominance orders are admissible (the would-be response
+          intervals intersect) — the PX301 trigger *)
+  pr_separation : Interval.t;  (** [t_b - t_a], s *)
+  pr_crossover : Interval.t;  (** [s_ab = Delta_a - Delta_b], s *)
+}
+
+type cell_info = {
+  ci_name : string;
+  ci_gate : string;
+  ci_edge : Proxim_measure.Measure.edge;  (** input edge direction *)
+  ci_switching : int list;  (** switching input pins, pin order *)
+  ci_assist : bool;
+      (** the switching inputs assist (earliest-dominant direction) *)
+  ci_class : classification;
+  ci_pairs : pair_info list;  (** unordered switching input pairs *)
+  ci_out : aarrival;
+  ci_neg_delay : (int * Interval.t) list;
+      (** switching pins whose single-input delay interval dips below
+          zero — the PX303 trigger *)
+  ci_tau_escape : (int * Interval.t * (float * float)) list;
+      (** [(pin, slew interval, characterized tau span)] for reachable
+          slews escaping a table-backed model's coverage — the PX302
+          trigger *)
+}
+
+type t
+(** A completed verification: per-net abstract arrivals, per-cell
+    classifications, and the quiet-PI sensitivity list. *)
+
+(** {1 Analysis} *)
+
+val analyze :
+  ?mode:Proxim_sta.Sta.mode ->
+  models:(Proxim_sta.Design.cell -> Proxim_macromodel.Models.t) ->
+  thresholds:Proxim_vtc.Vtc.thresholds ->
+  Proxim_sta.Design.t ->
+  pi:pi_event list ->
+  t
+(** One topological interval pass (default mode: [Proximity]).  Events
+    naming nets unknown to the design are ignored, mirroring
+    {!Proxim_sta.Sta.analyze}; events on cell-driven nets raise
+    [Invalid_argument], as does [Collapsed] mode (the golden-simulator
+    baseline has no interval semantics).  Raises
+    {!Proxim_sta.Sta.Mixed_input_edges} like the concrete engines.
+
+    In [Classic] mode the pass bounds the latest single-input response;
+    classifications are trivially [Never_proximate] (the mode never
+    consults dual models) and {!prune_mask} is constant [false]. *)
+
+val design : t -> Proxim_sta.Design.t
+val mode : t -> Proxim_sta.Sta.mode
+
+val net_arrival : t -> net:string -> aarrival option
+(** The abstract arrival of a net; [None] for unknown or quiet nets. *)
+
+val cell_info : t -> cell:string -> cell_info option
+(** Per-cell verdict; [None] for unknown or non-switching cells. *)
+
+val cells : t -> cell_info list
+(** Every switching cell's verdict, topological order. *)
+
+val unconstrained_pis : t -> string list
+(** Primary inputs that carry no event but feed a switching multi-input
+    cell — the PX304 trigger (the analysis assumed them quiet). *)
+
+type summary = {
+  total_cells : int;
+  switching_cells : int;
+  never : int;
+  always : int;
+  may : int;
+}
+
+val summary : t -> summary
+(** Classification counts over the switching cells. *)
+
+(** {1 Consumers} *)
+
+val prune_mask : t -> Proxim_sta.Design.cell -> bool
+(** The never-proximate mask for {!Proxim_sta.Sta.analyze}'s [?prune]:
+    [true] exactly for cells classified {!Never_proximate} by a
+    [Proximity]-mode verification (constant [false] for other modes).
+    Only valid while every primary-input event stays inside the windows
+    {!analyze} was run with. *)
+
+val check : ?file:string -> t -> Proxim_lint.Diagnostic.t list
+(** Render the verification findings as sorted PX3xx diagnostics:
+    [PX301] per straddling non-never pair, [PX302] per tau-coverage
+    escape, [PX303] per negative-delay bound, [PX304] per sensitive
+    quiet primary input. *)

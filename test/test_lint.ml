@@ -159,7 +159,9 @@ let test_parse_collects_all_errors () =
   Alcotest.(check int) "both bad lines collected" 2
     (List.length raw.Netlist_text.raw_errors);
   Alcotest.(check (list int)) "line numbers" [ 2; 4 ]
-    (List.map fst raw.Netlist_text.raw_errors);
+    (List.map
+       (fun (e : Netlist_text.raw_error) -> e.err_line)
+       raw.Netlist_text.raw_errors);
   Alcotest.(check int) "good cell still parsed" 1
     (List.length raw.Netlist_text.raw_cells)
 

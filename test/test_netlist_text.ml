@@ -86,6 +86,41 @@ let test_line_numbers () =
     Alcotest.(check bool) "line 3 reported" true
       (String.length m >= 7 && String.sub m 0 7 = "line 3:")
 
+let test_column_numbers () =
+  (* the unknown gate name starts at column 9 of line 3 *)
+  (match Netlist_text.parse tech "design d\n\ncell u1 frob a -> y\nend" with
+   | Ok _ -> Alcotest.fail "expected error"
+   | Error m ->
+     Alcotest.(check string) "gate-name column" "line 3:9:"
+       (String.sub m 0 9));
+  (* an unrecognized directive is located at its own first column *)
+  (match Netlist_text.parse tech "design d\n   frobnicate\nend" with
+   | Ok _ -> Alcotest.fail "expected error"
+   | Error m ->
+     Alcotest.(check string) "directive column" "line 2:4:" (String.sub m 0 9));
+  (* raw errors carry the same positions, structured *)
+  let raw = Netlist_text.parse_raw tech "design d\nthresholds 1.0 oops 5.0\nend" in
+  match raw.Netlist_text.raw_errors with
+  | [ e ] ->
+    Alcotest.(check int) "err_line" 2 e.Netlist_text.err_line;
+    Alcotest.(check int) "err_col" 16 e.Netlist_text.err_col
+  | es -> Alcotest.failf "expected 1 raw error, got %d" (List.length es)
+
+let test_crlf () =
+  (* a CRLF-encoded file parses identically to its LF twin *)
+  let lf = "design d\ninput a\noutput y\ncell u1 inv a -> y\nend\n" in
+  let crlf =
+    String.concat "\r\n" (String.split_on_char '\n' lf)
+  in
+  match (Netlist_text.parse tech lf, Netlist_text.parse tech crlf) with
+  | Ok (n1, d1), Ok (n2, d2) ->
+    Alcotest.(check string) "name" n1 n2;
+    Alcotest.(check int) "cells" (List.length (Design.cells d1))
+      (List.length (Design.cells d2));
+    Alcotest.(check (list string)) "inputs" (Design.primary_inputs d1)
+      (Design.primary_inputs d2)
+  | Error m, _ | _, Error m -> Alcotest.fail m
+
 let test_comments_and_whitespace () =
   let text = "  design   d  # trailing\n# full line\n\tinput a\n output y\ncell u1 inv a -> y\nend" in
   match Netlist_text.parse tech text with
@@ -103,6 +138,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
           Alcotest.test_case "errors" `Quick test_error_messages;
           Alcotest.test_case "line numbers" `Quick test_line_numbers;
+          Alcotest.test_case "column numbers" `Quick test_column_numbers;
+          Alcotest.test_case "crlf" `Quick test_crlf;
           Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
         ] );
     ]

@@ -210,6 +210,45 @@ let test_k_worst_ties () =
        false
      with Invalid_argument _ -> true)
 
+let test_k_worst_overask () =
+  (* K far beyond the distinct path count returns every path once *)
+  let g = diamond_graph () in
+  let t = Timing.create g ~engine:(toy_engine ~pin_delay:(fun _ -> 1e-10)) in
+  let a = Option.get (Graph.net_id g "a") in
+  Timing.set_source t ~net:a (Some (arr 0.));
+  ignore (Timing.analyze t);
+  let y = Option.get (Graph.net_id g "y") in
+  let paths = Paths.k_worst t ~po:y ~k:50 in
+  Alcotest.(check int) "still two paths" 2 (List.length paths);
+  Alcotest.(check bool) "same list as k=2" true
+    (paths = Paths.k_worst t ~po:y ~k:2)
+
+let test_k_worst_po_is_pi () =
+  (* a primary-input endpoint degenerates to a singleton source path *)
+  let g = chain_graph () in
+  let t = Timing.create g ~engine:(toy_engine ~pin_delay:(fun _ -> 1e-10)) in
+  let a = Option.get (Graph.net_id g "a") in
+  Timing.set_source t ~net:a (Some (arr 2.5e-10));
+  ignore (Timing.analyze t);
+  (match Paths.k_worst t ~po:a ~k:5 with
+  | [ p ] ->
+    Alcotest.(check (float 0.)) "arrival = source time" 2.5e-10
+      p.Paths.p_arrival;
+    (match p.Paths.p_steps with
+    | [ s ] ->
+      Alcotest.(check int) "net" a s.Paths.net;
+      Alcotest.(check int) "source step pin" (-1) s.Paths.via_pin
+    | _ -> Alcotest.fail "expected a single source step");
+    Alcotest.(check (list string)) "singleton net chain" [ "a" ]
+      (Paths.nets_of_path g p)
+  | ps ->
+    Alcotest.fail
+      (Printf.sprintf "expected exactly one path, got %d" (List.length ps)));
+  (* a quiet primary input has no paths at all *)
+  let t2 = Timing.create g ~engine:(toy_engine ~pin_delay:(fun _ -> 1e-10)) in
+  Alcotest.(check int) "quiet source: no paths" 0
+    (List.length (Paths.k_worst t2 ~po:a ~k:3))
+
 (* ------------------------------------------------------------------ *)
 (* Sta-level: synthetic models over real gates                         *)
 
@@ -504,6 +543,8 @@ let () =
           Alcotest.test_case "analyze chain" `Quick test_analyze_chain;
           Alcotest.test_case "early cutoff" `Quick test_early_cutoff;
           Alcotest.test_case "k-worst ties" `Quick test_k_worst_ties;
+          Alcotest.test_case "k-worst overask" `Quick test_k_worst_overask;
+          Alcotest.test_case "k-worst po is pi" `Quick test_k_worst_po_is_pi;
         ] );
       ( "sta",
         [
