@@ -31,9 +31,17 @@ module Timing = Proxim_timing.Timing
 module Graph = Proxim_timing.Graph
 module Design = Proxim_sta.Design
 module Sta = Proxim_sta.Sta
+module Obs_metrics = Proxim_obs.Metrics
+module Obs_trace = Proxim_obs.Trace
 
 let quick = ref false
 let domains = ref (Pool.recommended_domains ())
+let trace_file : string option ref = ref None
+let metrics_fmt : [ `Text | `Json ] option ref = ref None
+
+(* the BENCH_*.json writers embed the live metrics snapshot so a bench
+   artifact carries its own cache/pool/clamp observability *)
+let metrics_json () = Obs_metrics.to_json (Obs_metrics.snapshot ())
 
 let ps s = s *. 1e12
 
@@ -694,11 +702,12 @@ let parallel_bench () =
     \  \"parallel_s\": %.3f,\n\
     \  \"speedup\": %.3f,\n\
     \  \"bit_identical\": %b,\n\
-    \  \"oracle_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f }\n\
+    \  \"oracle_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f },\n\
+    \  \"metrics\": %s\n\
      }\n"
     grid_runs !quick !domains t_serial t_par speedup identical
     stats.Proxim_util.Memo_cache.hits stats.Proxim_util.Memo_cache.misses
-    hit_rate;
+    hit_rate (metrics_json ());
   close_out oc;
   Printf.printf "  wrote BENCH_parallel.json\n"
 
@@ -915,7 +924,7 @@ let incremental_bench () =
   let stats =
     List.fold_left
       (fun acc r -> Models.merge_stats acc r.ir_stats)
-      { Memo_cache.hits = 0; misses = 0; entries = 0 }
+      { Memo_cache.hits = 0; misses = 0; waits = 0; evictions = 0; entries = 0 }
       results
   in
   Pool.shutdown pool;
@@ -948,9 +957,11 @@ let incremental_bench () =
     results;
   Printf.fprintf oc
     "  ],\n\
-    \  \"model_cache\": { \"hits\": %d, \"misses\": %d, \"entries\": %d }\n\
+    \  \"model_cache\": { \"hits\": %d, \"misses\": %d, \"entries\": %d },\n\
+    \  \"metrics\": %s\n\
      }\n"
-    stats.Memo_cache.hits stats.Memo_cache.misses stats.Memo_cache.entries;
+    stats.Memo_cache.hits stats.Memo_cache.misses stats.Memo_cache.entries
+    (metrics_json ());
   close_out oc;
   Printf.printf "  wrote BENCH_incremental.json\n"
 
@@ -1106,11 +1117,12 @@ let verify_bench () =
     \  \"bit_identical\": %b,\n\
     \  \"full_median_ms\": %.4f,\n\
     \  \"pruned_median_ms\": %.4f,\n\
-    \  \"speedup\": %.3f\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"metrics\": %s\n\
      }\n"
     !quick n_cells s.Verify.switching_cells s.Verify.never s.Verify.always
     s.Verify.may prune_rate trials viol_prox viol_classic sound identical
-    (1e3 *. t_full) (1e3 *. t_pruned) speedup;
+    (1e3 *. t_full) (1e3 *. t_pruned) speedup (metrics_json ());
   close_out oc;
   Printf.printf "  wrote BENCH_verify.json\n"
 
@@ -1159,11 +1171,28 @@ let () =
         | Some _ | None ->
           Printf.eprintf "--domains expects a positive integer, got %s\n" n;
           exit 2)
+      | [ "--trace" ] ->
+        Printf.eprintf "--trace expects a file argument\n";
+        exit 2
+      | "--trace" :: f :: tl ->
+        trace_file := Some f;
+        parse acc tl
+      | "--metrics" :: "text" :: tl ->
+        metrics_fmt := Some `Text;
+        parse acc tl
+      | "--metrics" :: "json" :: tl ->
+        metrics_fmt := Some `Json;
+        parse acc tl
+      | "--metrics" :: _ ->
+        Printf.eprintf "--metrics expects text or json\n";
+        exit 2
       | a :: tl -> parse (a :: acc) tl
     in
     parse [] (List.tl (Array.to_list Sys.argv))
   in
   Pool.set_default_domains !domains;
+  Obs_metrics.install_util_sources ();
+  if !trace_file <> None then Obs_trace.enable ();
   let selected =
     match args with
     | [] -> default_run
@@ -1185,4 +1214,13 @@ let () =
       fn ();
       Printf.printf "\n[%s: %.1f s]\n" name (Unix.gettimeofday () -. t0))
     selected;
-  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t_total)
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t_total);
+  (match !trace_file with
+   | None -> ()
+   | Some f ->
+     Obs_trace.write_file f;
+     Printf.printf "trace written to %s (load in ui.perfetto.dev)\n" f);
+  match !metrics_fmt with
+  | None -> ()
+  | Some `Text -> print_string (Obs_metrics.to_text (Obs_metrics.snapshot ()))
+  | Some `Json -> print_endline (metrics_json ())

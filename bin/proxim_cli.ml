@@ -19,6 +19,8 @@ module Proximity = Proxim_core.Proximity
 module Inertial = Proxim_core.Inertial
 module Storage = Proxim_core.Storage
 module Collapse = Proxim_baseline.Collapse
+module Obs_metrics = Proxim_obs.Metrics
+module Obs_trace = Proxim_obs.Trace
 
 let ps s = s *. 1e12
 
@@ -276,9 +278,11 @@ let run_lint files format fail_on fanout_limit show_codes =
     2
   end
   else begin
-    let diags =
-      Diagnostic.sort (List.concat_map (lint_file ~fanout_limit) files)
+    let lint_one f =
+      Obs_trace.with_span ~cat:"lint" ~args:[ ("file", f) ] "lint.file"
+        (fun () -> lint_file ~fanout_limit f)
     in
+    let diags = Diagnostic.sort (List.concat_map lint_one files) in
     (match format with
      | `Text -> print_string (Diagnostic.report_text diags)
      | `Json -> print_endline (Diagnostic.report_json_string diags));
@@ -535,10 +539,144 @@ let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
                 never-proximate fast path\n"
                (Sta.pruned_evaluations ir));
           let cs = factory.Sta.factory_stats () in
-          Printf.printf "model cache: %d hits, %d misses, %d entries\n"
-            cs.Memo_cache.hits cs.Memo_cache.misses cs.Memo_cache.entries;
+          Printf.printf
+            "model cache: %d hits, %d misses, %d waits, %d entries\n"
+            cs.Memo_cache.hits cs.Memo_cache.misses cs.Memo_cache.waits
+            cs.Memo_cache.entries;
           if eco_ok then 0 else 1
         end))
+
+(* CLI boundary: an unknown net or cell in --eco is a user typo, not an
+   internal failure — report it like a lint error (exit 2) instead of
+   escaping as a raw exception with a backtrace. *)
+let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
+    verify_eco no_prune =
+  try
+    run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
+      verify_eco no_prune
+  with Sta.Unknown_eco_target { kind; name } ->
+    Printf.eprintf "proxim sta: error: --eco refers to unknown %s %s\n" kind
+      name;
+    2
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+
+(* One STA run with every pipeline stage wrapped in a "phase" span:
+   parse -> thresholds -> characterize (the paper's section-3 macromodel
+   build, forced up front so its cost lands in one bucket) -> build_ir ->
+   analyze (the section-4 fold) -> report.  Prints the per-phase
+   time/alloc breakdown from the trace aggregation. *)
+let run_profile file pi_specs mode models_kind =
+  let tech = Tech.generic_5v in
+  Obs_metrics.install_util_sources ();
+  Obs_trace.clear ();
+  Obs_trace.enable ();
+  let wall0 = Unix.gettimeofday () in
+  let phase name f = Obs_trace.with_span ~cat:"phase" name f in
+  let parsed =
+    phase "parse" (fun () ->
+        match In_channel.with_open_text file In_channel.input_all with
+        | exception Sys_error m -> Error m
+        | text -> (
+          match Netlist_text.parse tech text with
+          | Error m -> Error m
+          | Ok (name, design) -> Ok (text, name, design)))
+  in
+  match parsed with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok (text, name, design) -> (
+    match parse_all parse_pi_spec [] pi_specs with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok [] ->
+      prerr_endline "proxim profile: need at least one --pi event";
+      1
+    | Ok pi ->
+      let th =
+        phase "thresholds" (fun () ->
+            let raw = Netlist_text.parse_raw tech text in
+            match raw.Netlist_text.raw_thresholds with
+            | Some (th, _) -> th
+            | None -> (
+              match Design.cells design with
+              | c :: _ -> Vtc.thresholds c.Design.gate
+              | [] -> (
+                match Gate.of_name tech "inv" with
+                | Ok g -> Vtc.thresholds g
+                | Error m -> failwith m)))
+      in
+      let factory =
+        match models_kind with
+        | `Oracle -> Sta.oracle_factory design th
+        | `Synthetic -> Sta.synthetic_factory ()
+      in
+      phase "characterize" (fun () ->
+          List.iter
+            (fun c -> ignore (factory.Sta.models c : Models.t))
+            (Design.cells design));
+      let ir =
+        phase "build_ir" (fun () ->
+            Sta.build_ir ~mode ~models:factory.Sta.models ~thresholds:th
+              design ~pi)
+      in
+      ignore (phase "analyze" (fun () -> Sta.reanalyze ir) : Timing.stats);
+      let report = phase "report" (fun () -> Sta.report ir) in
+      let wall_us = (Unix.gettimeofday () -. wall0) *. 1e6 in
+      let g = Design.graph design in
+      Printf.printf "design %s: %d cells, %d nets, %d levels\n" name
+        (Graph.cell_count g) (Graph.net_count g) (Graph.level_count g);
+      (match report.Sta.critical_po with
+       | None -> Printf.printf "no primary output switches\n"
+       | Some (po, a) ->
+         Printf.printf "critical output: %s at %.1f ps\n" po (ps a.Sta.time));
+      let aggs = Obs_trace.aggregate ~cat:"phase" () in
+      (* pipeline order reads better than duration order for six rows *)
+      let phases =
+        List.filter_map
+          (fun n ->
+            List.find_opt (fun a -> a.Obs_trace.agg_name = n) aggs)
+          [ "parse"; "thresholds"; "characterize"; "build_ir"; "analyze";
+            "report" ]
+      in
+      let mb bytes = bytes /. 1048576. in
+      Printf.printf "\n%-14s %12s  %6s %12s\n" "phase" "time" "% wall"
+        "alloc";
+      List.iter
+        (fun (a : Obs_trace.agg) ->
+          Printf.printf "%-14s %9.3f ms  %5.1f%% %9.2f MB\n" a.Obs_trace.agg_name
+            (a.Obs_trace.total_us /. 1e3)
+            (100. *. a.Obs_trace.total_us /. wall_us)
+            (mb a.Obs_trace.alloc_bytes))
+        phases;
+      let covered =
+        List.fold_left (fun s a -> s +. a.Obs_trace.total_us) 0. phases
+      in
+      Printf.printf "phase coverage: %.1f%% of %.3f ms wall\n"
+        (100. *. covered /. wall_us)
+        (wall_us /. 1e3);
+      let hot =
+        List.concat_map
+          (fun c -> Obs_trace.aggregate ~cat:c ())
+          [ "characterize"; "sta"; "verify"; "pool" ]
+        |> List.sort (fun a b ->
+               Float.compare b.Obs_trace.total_us a.Obs_trace.total_us)
+      in
+      if hot <> [] then begin
+        Printf.printf "\nhot spans:\n";
+        List.iteri
+          (fun i (a : Obs_trace.agg) ->
+            if i < 8 then
+              Printf.printf "  %-22s %5dx %9.3f ms %9.2f MB\n"
+                a.Obs_trace.agg_name a.Obs_trace.count
+                (a.Obs_trace.total_us /. 1e3)
+                (mb a.Obs_trace.alloc_bytes))
+          hot
+      end;
+      0)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -697,6 +835,55 @@ let domains_setup =
   in
   Term.(const setup $ arg)
 
+(* Shared observability flags: --trace FILE records every instrumented
+   span to a Chrome trace-event JSON file (load it in ui.perfetto.dev);
+   --metrics text|json prints the metrics-registry snapshot after the
+   command body runs. *)
+type obs_opts = {
+  trace_file : string option;
+  metrics_fmt : [ `Text | `Json ] option;
+}
+
+let obs_setup =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record instrumented spans and write them as Chrome \
+             trace-event JSON to $(docv) (loadable in Perfetto, \
+             ui.perfetto.dev, or chrome://tracing).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+      & info [ "metrics" ] ~docv:"FMT"
+          ~doc:
+            "Print a metrics-registry snapshot (counters, gauges, latency \
+             histograms) after the run: text or json.")
+  in
+  let setup trace_file metrics_fmt =
+    Obs_metrics.install_util_sources ();
+    if trace_file <> None then Obs_trace.enable ();
+    { trace_file; metrics_fmt }
+  in
+  Term.(const setup $ trace $ metrics)
+
+let finish_obs obs code =
+  (match obs.trace_file with
+   | None -> ()
+   | Some f ->
+     Obs_trace.write_file f;
+     Printf.eprintf "trace written to %s (load in ui.perfetto.dev)\n" f);
+  (match obs.metrics_fmt with
+   | None -> ()
+   | Some `Text -> print_string (Obs_metrics.to_text (Obs_metrics.snapshot ()))
+   | Some `Json ->
+     print_endline (Obs_metrics.to_json (Obs_metrics.snapshot ())));
+  code
+
 let vtc_cmd =
   Cmd.v (Cmd.info "vtc" ~doc:"Print the VTC family and chosen thresholds")
     Term.(const (fun () g -> run_vtc g) $ domains_setup $ gate_arg)
@@ -789,7 +976,8 @@ let lint_cmd =
          "Static diagnostics for netlists, threshold sets and characterized \
           stores")
     Term.(
-      const run_lint $ files $ format $ fail_on $ fanout_limit $ codes)
+      const (fun obs fs fmt fo fl c -> finish_obs obs (run_lint fs fmt fo fl c))
+      $ obs_setup $ files $ format $ fail_on $ fanout_limit $ codes)
 
 let sta_cmd =
   let file =
@@ -879,9 +1067,10 @@ let sta_cmd =
          "Static timing analysis of a netlist: arrivals, K-worst paths, \
           slacks, incremental (ECO) re-analysis")
     Term.(
-      const (fun () f p m k pk r e v np -> run_sta f p m k pk r e v np)
-      $ domains_setup $ file $ pi $ mode $ models $ paths $ required $ eco
-      $ verify_eco $ no_prune)
+      const (fun () obs f p m k pk r e v np ->
+          finish_obs obs (run_sta f p m k pk r e v np))
+      $ domains_setup $ obs_setup $ file $ pi $ mode $ models $ paths
+      $ required $ eco $ verify_eco $ no_prune)
 
 let verify_cmd =
   let file =
@@ -967,10 +1156,52 @@ let verify_cmd =
          "Static proximity verification: interval abstract interpretation \
           over the timing graph, PX3xx diagnostics")
     Term.(
-      const (fun () f p w tw m mk fmt fo c ->
-          run_verify f p w tw m mk fmt fo c)
-      $ domains_setup $ file $ pi $ windows $ tau_window $ mode $ models
-      $ format $ fail_on $ codes)
+      const (fun () obs f p w tw m mk fmt fo c ->
+          finish_obs obs (run_verify f p w tw m mk fmt fo c))
+      $ domains_setup $ obs_setup $ file $ pi $ windows $ tau_window $ mode
+      $ models $ format $ fail_on $ codes)
+
+let profile_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Netlist (.ntl) to profile.")
+  in
+  let pi =
+    Arg.(
+      value & opt_all string []
+      & info [ "pi" ] ~docv:"EVENT"
+          ~doc:
+            "Primary-input event as net:edge:tau_ps:cross_ps (repeatable), \
+             e.g. --pi a:fall:500:0.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum [ ("classic", Sta.Classic); ("proximity", Sta.Proximity) ])
+          Sta.Proximity
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Propagation mode: proximity (default) or classic.")
+  in
+  let models =
+    Arg.(
+      value
+      & opt (enum [ ("oracle", `Oracle); ("synthetic", `Synthetic) ]) `Oracle
+      & info [ "models" ] ~docv:"KIND"
+          ~doc:
+            "Cell models: oracle (golden-simulator backed, default) or \
+             synthetic (fast analytic stand-ins).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Per-phase time and allocation breakdown of an STA run (parse, \
+          thresholds, characterize, build, analyze, report)")
+    Term.(
+      const (fun () obs f p m mk -> finish_obs obs (run_profile f p m mk))
+      $ domains_setup $ obs_setup $ file $ pi $ mode $ models)
 
 let storage_cmd =
   let fan_in = Arg.(value & opt int 3 & info [ "fan-in" ]) in
@@ -983,6 +1214,6 @@ let () =
   let main =
     Cmd.group (Cmd.info "proxim" ~version:"1.0.0" ~doc)
       [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; sta_cmd; verify_cmd;
-        storage_cmd; lint_cmd ]
+        profile_cmd; storage_cmd; lint_cmd ]
   in
   exit (Cmd.eval' main)

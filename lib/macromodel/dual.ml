@@ -67,6 +67,14 @@ let clamp_to_dominance ~assist ~single_other ~tau_other sep =
 
 let build ?(x_tau = default_x_tau) ?(x_sep = default_x_sep) ?opts ?pool gate th
     ~single_dom ~single_other ~other =
+  Proxim_obs.Trace.Span.with_ ~cat:"characterize" ~name:"dual.build"
+    ~args:
+      [
+        ("gate", gate.Gate.name);
+        ("dom", string_of_int (Single.pin single_dom));
+        ("other", string_of_int other);
+      ]
+  @@ fun () ->
   let pool =
     match pool with Some p -> p | None -> Proxim_util.Pool.default ()
   in

@@ -32,6 +32,8 @@ let merge_stats (a : Memo_cache.stats) (b : Memo_cache.stats) =
   {
     Memo_cache.hits = a.Memo_cache.hits + b.Memo_cache.hits;
     misses = a.Memo_cache.misses + b.Memo_cache.misses;
+    waits = a.Memo_cache.waits + b.Memo_cache.waits;
+    evictions = a.Memo_cache.evictions + b.Memo_cache.evictions;
     entries = a.Memo_cache.entries + b.Memo_cache.entries;
   }
 

@@ -33,6 +33,14 @@ let strength gate ~edge =
 let default_taus = Floatx.logspace 20e-12 5e-9 16
 
 let build ?(taus = default_taus) ?opts ?pool gate th ~pin ~edge =
+  Proxim_obs.Trace.Span.with_ ~cat:"characterize" ~name:"single.build"
+    ~args:
+      [
+        ("gate", gate.Gate.name);
+        ("pin", string_of_int pin);
+        ("edge", match edge with Measure.Rise -> "rise" | Fall -> "fall");
+      ]
+  @@ fun () ->
   let k = strength gate ~edge in
   let vdd = gate.Gate.tech.Tech.vdd in
   let c_build = gate.Gate.load in

@@ -14,6 +14,9 @@ type set = {
 let characterize ?opts ?taus ?x_tau ?x_sep
     ?(edges = [ Measure.Rise; Measure.Fall ]) ?(with_duals = true) ?pool gate
     th =
+  Proxim_obs.Trace.Span.with_ ~cat:"characterize" ~name:"store.characterize"
+    ~args:[ ("gate", gate.Gate.name) ]
+  @@ fun () ->
   let fan_in = gate.Gate.fan_in in
   let pins = List.init fan_in Fun.id in
   let pool =
@@ -76,7 +79,14 @@ let to_models gate set =
        that produced them, so the characterized tau span is unknown *)
     tau_range = None;
     cache_stats =
-      (fun () -> { Proxim_util.Memo_cache.hits = 0; misses = 0; entries = 0 });
+      (fun () ->
+        {
+          Proxim_util.Memo_cache.hits = 0;
+          misses = 0;
+          waits = 0;
+          evictions = 0;
+          entries = 0;
+        });
     assist =
       (fun ~edge ~pins ->
         Gate.switching_assist gate ~pins

@@ -8,6 +8,12 @@ module Memo_cache = Proxim_util.Memo_cache
 module Graph = Proxim_timing.Graph
 module Timing = Proxim_timing.Timing
 module Paths = Proxim_timing.Paths
+module Trace = Proxim_obs.Trace
+module Metrics = Proxim_obs.Metrics
+
+let c_pruned = Metrics.Counter.v "sta.pruned_evaluations"
+let h_analyze = Metrics.Histogram.v "sta.analyze_seconds"
+let h_update = Metrics.Histogram.v "sta.update_seconds"
 
 type arrival = Timing.arrival = {
   time : float;
@@ -17,6 +23,10 @@ type arrival = Timing.arrival = {
 
 exception Mixed_input_edges of { cell : string }
 
+exception No_switching_inputs of { cell : string }
+
+exception Unknown_eco_target of { kind : string; name : string }
+
 let () =
   Printexc.register_printer (function
     | Mixed_input_edges { cell } ->
@@ -25,6 +35,14 @@ let () =
            "Sta.analyze: mixed input edges at cell %s (a single-vector \
             analysis cannot order a glitch)"
            cell)
+    | No_switching_inputs { cell } ->
+      Some
+        (Printf.sprintf
+           "Sta.analyze: internal invariant broken — cell %s was evaluated \
+            with no switching inputs"
+           cell)
+    | Unknown_eco_target { kind; name } ->
+      Some (Printf.sprintf "Sta.update: unknown %s %s" kind name)
     | _ -> None)
 
 type mode = Classic | Proximity | Collapsed of Collapse.variant
@@ -83,7 +101,7 @@ let candidates_of (m : Models.t) ~edge ~out_time ~winner inputs =
 
 (* latest single-input response wins; its transition time becomes the
    output slew, and the winning pin becomes the path predecessor *)
-let classic_verdict (m : Models.t) ~edge ~slew_scale inputs =
+let classic_verdict (m : Models.t) ~cell ~edge ~slew_scale inputs =
   let responses =
     List.map
       (fun (i : Timing.input) ->
@@ -100,7 +118,7 @@ let classic_verdict (m : Models.t) ~edge ~slew_scale inputs =
   in
   let time, slew, winner =
     match responses with
-    | [] -> assert false
+    | [] -> raise (No_switching_inputs { cell })
     | first :: rest ->
       List.fold_left
         (fun ((bt, _, _) as best) ((t, _, _) as r) ->
@@ -124,7 +142,7 @@ let classic_verdict (m : Models.t) ~edge ~slew_scale inputs =
    The winner scan keeps the first strict minimum in pin order, which is
    where the stable dominance sort puts it; never-proximate verdicts
    guarantee the minimum is unique anyway. *)
-let pruned_proximity_verdict (m : Models.t) ~edge ~slew_scale inputs =
+let pruned_proximity_verdict (m : Models.t) ~cell ~edge ~slew_scale inputs =
   let keyed =
     List.map
       (fun (i : Timing.input) ->
@@ -137,7 +155,7 @@ let pruned_proximity_verdict (m : Models.t) ~edge ~slew_scale inputs =
   in
   let win, time =
     match keyed with
-    | [] -> assert false
+    | [] -> raise (No_switching_inputs { cell })
     | first :: rest ->
       List.fold_left
         (fun ((_, bt) as best) ((_, t) as k) -> if t < bt then k else best)
@@ -221,11 +239,15 @@ let make_engine ~prune ~pruned_count ~mode ~models ~thresholds ~design :
     | Some edge ->
       Some
         (match mode with
-        | Classic -> classic_verdict (!models cell) ~edge ~slew_scale inputs
+        | Classic ->
+          classic_verdict (!models cell) ~cell:cell.Design.name ~edge
+            ~slew_scale inputs
         | Proximity ->
           if prune cell then begin
             Atomic.incr pruned_count;
-            pruned_proximity_verdict (!models cell) ~edge ~slew_scale inputs
+            Metrics.Counter.incr c_pruned;
+            pruned_proximity_verdict (!models cell) ~cell:cell.Design.name
+              ~edge ~slew_scale inputs
           end
           else proximity_verdict (!models cell) ~edge ~slew_scale inputs
         | Collapsed variant ->
@@ -269,31 +291,43 @@ let timing ir = ir.timing
 let mode ir = ir.ir_mode
 let pruned_evaluations ir = Atomic.get ir.pruned_count
 
-let reanalyze ?pool ir = Timing.analyze ?pool ir.timing
+let reanalyze ?pool ir =
+  Trace.with_span ~cat:"sta" "sta.analyze" @@ fun () ->
+  Metrics.Histogram.time h_analyze @@ fun () -> Timing.analyze ?pool ir.timing
 
 type eco =
   | Set_pi of string * arrival option
   | Touch_cell of string
 
 let update ?pool ir ecos =
-  let g = Design.graph ir.design in
-  let dirty_nets = ref [] in
-  let dirty_cells = ref [] in
-  List.iter
-    (function
-      | Set_pi (net, a) -> (
-        match Graph.net_id g net with
-        | None -> invalid_arg ("Sta.update: unknown net " ^ net)
-        | Some id ->
-          Timing.set_source ir.timing ~net:id a;
-          dirty_nets := id :: !dirty_nets)
-      | Touch_cell name -> (
-        match Graph.cell_id g name with
-        | None -> invalid_arg ("Sta.update: unknown cell " ^ name)
-        | Some c -> dirty_cells := c :: !dirty_cells))
-    ecos;
-  Timing.update ?pool ir.timing ~dirty_nets:!dirty_nets
-    ~dirty_cells:!dirty_cells
+  let body () =
+    Metrics.Histogram.time h_update @@ fun () ->
+    let g = Design.graph ir.design in
+    let dirty_nets = ref [] in
+    let dirty_cells = ref [] in
+    List.iter
+      (function
+        | Set_pi (net, a) -> (
+          match Graph.net_id g net with
+          | None -> raise (Unknown_eco_target { kind = "net"; name = net })
+          | Some id ->
+            Timing.set_source ir.timing ~net:id a;
+            dirty_nets := id :: !dirty_nets)
+        | Touch_cell name -> (
+          match Graph.cell_id g name with
+          | None -> raise (Unknown_eco_target { kind = "cell"; name })
+          | Some c -> dirty_cells := c :: !dirty_cells))
+      ecos;
+    Timing.update ?pool ir.timing ~dirty_nets:!dirty_nets
+      ~dirty_cells:!dirty_cells
+  in
+  (* ECO updates are the latency-critical entry point: skip even the
+     span-argument allocation unless a trace is being recorded *)
+  if Trace.enabled () then
+    Trace.with_span ~cat:"sta" "sta.update"
+      ~args:[ ("ecos", string_of_int (List.length ecos)) ]
+      body
+  else body ()
 
 let swap_models ?pool ir models =
   ir.models := models;

@@ -51,6 +51,20 @@ exception Mixed_input_edges of { cell : string }
     cell's name; a printer is registered so an uncaught exception still
     renders readably. *)
 
+exception No_switching_inputs of { cell : string }
+(** Internal-invariant error: a propagation engine was asked to rank the
+    responses of a cell that has no switching inputs.  The engines are
+    only entered for cells with at least one switching input, so seeing
+    this exception means the invariant broke upstream; it names the
+    offending cell instead of dying on a bare [assert false].  A printer
+    is registered. *)
+
+exception Unknown_eco_target of { kind : string; name : string }
+(** Raised by {!update} when an ECO names a net or cell the design does
+    not contain ([kind] is ["net"] or ["cell"]).  The CLI catches this at
+    the boundary and turns it into a diagnostic with exit code 2 rather
+    than a backtrace.  A printer is registered. *)
+
 type report = {
   arrivals : (string * arrival) list;  (** every switching net, topo order *)
   critical_po : (string * arrival) option;
@@ -163,8 +177,8 @@ val update :
 (** Apply the edits and incrementally re-propagate their fanout cone.
     The returned {!Proxim_timing.Timing.stats} report how many cells were
     actually re-evaluated — the incremental win over {!reanalyze}.
-    Raises [Invalid_argument] on unknown net/cell names, and for
-    [Set_pi] on a cell-driven net. *)
+    Raises {!Unknown_eco_target} on unknown net/cell names, and
+    [Invalid_argument] for [Set_pi] on a cell-driven net. *)
 
 val swap_models :
   ?pool:Proxim_util.Pool.t ->

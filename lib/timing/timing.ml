@@ -1,5 +1,11 @@
 module Measure = Proxim_measure.Measure
 module Pool = Proxim_util.Pool
+module Trace = Proxim_obs.Trace
+module Metrics = Proxim_obs.Metrics
+
+(* registered once at link time; counting costs one domain-local add *)
+let c_evaluated = Metrics.Counter.v "timing.cells_evaluated"
+let c_changed = Metrics.Counter.v "timing.cells_changed"
 
 type arrival = { time : float; slew : float; edge : Measure.edge }
 
@@ -20,6 +26,11 @@ type 'cell t = {
   engine : 'cell engine;
   sources : arrival option array;  (* per net; meaningful for undriven nets *)
   verdicts : verdict option array;  (* per cell *)
+  (* scratch reused across [update] calls so the ECO hot path does not
+     allocate per call; both are restored to all-false / all-[] before
+     [update] returns (each level resets its own entries as it drains) *)
+  queued : bool array;
+  buckets : int list array;
 }
 
 type stats = { evaluated : int; changed : int; total_cells : int }
@@ -30,6 +41,8 @@ let create graph ~engine =
     engine;
     sources = Array.make (Graph.net_count graph) None;
     verdicts = Array.make (Graph.cell_count graph) None;
+    queued = Array.make (Graph.cell_count graph) false;
+    buckets = Array.make (max (Graph.level_count graph) 1) [];
   }
 
 let graph t = t.graph
@@ -71,21 +84,24 @@ let verdict_eq a b =
 
 let compute t cell_id =
   let g = t.graph in
-  let inputs =
-    Array.to_list (Graph.cell_inputs g cell_id)
-    |> List.mapi (fun pin net ->
-         Option.map
-           (fun a -> { in_pin = pin; in_net = net; in_arrival = a })
-           (arrival t ~net))
-    |> List.filter_map Fun.id
-  in
-  t.engine (Graph.payload g cell_id) inputs
+  let nets = Graph.cell_inputs g cell_id in
+  (* built back-to-front so the list comes out in pin order without the
+     Array.to_list / List.mapi / List.filter_map intermediates — this
+     runs once per evaluated cell and dominates update-path allocation *)
+  let inputs = ref [] in
+  for pin = Array.length nets - 1 downto 0 do
+    let net = nets.(pin) in
+    match arrival t ~net with
+    | Some a ->
+      inputs := { in_pin = pin; in_net = net; in_arrival = a } :: !inputs
+    | None -> ()
+  done;
+  t.engine (Graph.payload g cell_id) !inputs
 
 let update ?pool t ~dirty_nets ~dirty_cells =
   let g = t.graph in
   let n_levels = Graph.level_count g in
-  let buckets = Array.make (max n_levels 1) [] in
-  let queued = Array.make (Graph.cell_count g) false in
+  let buckets = t.buckets and queued = t.queued in
   let enqueue c =
     if not queued.(c) then begin
       queued.(c) <- true;
@@ -100,30 +116,61 @@ let update ?pool t ~dirty_nets ~dirty_cells =
   let evaluated = ref 0 in
   let changed = ref 0 in
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  for l = 0 to n_levels - 1 do
-    match buckets.(l) with
-    | [] -> ()
-    | dirty ->
-      let cells = Array.of_list (List.sort compare dirty) in
-      (* cells of one level only read strictly lower levels, so they can
-         be evaluated concurrently; results are applied level-by-level *)
-      let results =
-        if Array.length cells = 1 then Array.map (compute t) cells
-        else Pool.map pool (compute t) cells
-      in
-      evaluated := !evaluated + Array.length cells;
-      Array.iteri
-        (fun i v ->
-          let c = cells.(i) in
-          if not (verdict_eq t.verdicts.(c) v) then begin
-            t.verdicts.(c) <- v;
-            incr changed;
-            Array.iter
-              (fun (r, _) -> enqueue r)
-              (Graph.readers g ~net:(Graph.cell_output g c))
-          end)
-        results
-  done;
+  let run () =
+    for l = 0 to n_levels - 1 do
+      match buckets.(l) with
+      | [] -> ()
+      | dirty ->
+        (* drain this level's scratch entries before evaluating: fanout
+           of a level-l cell sits at strictly higher levels, so nothing
+           re-enqueues below, and the scratch comes out empty *)
+        buckets.(l) <- [];
+        List.iter (fun c -> queued.(c) <- false) dirty;
+        let eval_level () =
+          let cells = Array.of_list (List.sort Int.compare dirty) in
+          (* cells of one level only read strictly lower levels, so they
+             can be evaluated concurrently; results are applied
+             level-by-level *)
+          let results =
+            if Array.length cells = 1 then Array.map (compute t) cells
+            else Pool.map pool (compute t) cells
+          in
+          evaluated := !evaluated + Array.length cells;
+          Array.iteri
+            (fun i v ->
+              let c = cells.(i) in
+              if not (verdict_eq t.verdicts.(c) v) then begin
+                t.verdicts.(c) <- v;
+                incr changed;
+                Array.iter
+                  (fun (r, _) -> enqueue r)
+                  (Graph.readers g ~net:(Graph.cell_output g c))
+              end)
+            results
+        in
+        (* the argument strings are only worth allocating when a trace is
+           being recorded; with tracing off this is one atomic load *)
+        if Trace.enabled () then
+          Trace.with_span ~cat:"sta" "timing.level"
+            ~args:
+              [
+                ("level", string_of_int l);
+                ("cells", string_of_int (List.length dirty));
+              ]
+            eval_level
+        else eval_level ()
+    done
+  in
+  (try run ()
+   with e ->
+     (* an engine failure mid-walk must not leave stale scratch behind
+        for the next update on this IR *)
+     let bt = Printexc.get_raw_backtrace () in
+     Array.fill queued 0 (Array.length queued) false;
+     Array.fill buckets 0 (Array.length buckets) [];
+     Printexc.raise_with_backtrace e bt);
+  Metrics.Counter.add c_evaluated !evaluated;
+  Metrics.Counter.add c_changed !changed;
   { evaluated = !evaluated; changed = !changed; total_cells = Graph.cell_count g }
 
 let analyze ?pool t =

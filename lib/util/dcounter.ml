@@ -1,0 +1,40 @@
+(* Per-domain cells registered lazily on first use from each domain: the
+   DLS initializer allocates a cell and links it into the owner's list
+   under the mutex, so the increment path after that touches only
+   domain-local state. *)
+
+type t = {
+  mutex : Mutex.t;  (** guards [cells] *)
+  cells : int ref list ref;
+  key : int ref Domain.DLS.key;
+}
+
+let make () =
+  let mutex = Mutex.create () in
+  let cells = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+      let cell = ref 0 in
+      Mutex.lock mutex;
+      cells := cell :: !cells;
+      Mutex.unlock mutex;
+      cell)
+  in
+  { mutex; cells; key }
+
+let add t n =
+  let cell = Domain.DLS.get t.key in
+  cell := !cell + n
+
+let incr t = add t 1
+
+let value t =
+  Mutex.lock t.mutex;
+  let v = List.fold_left (fun acc cell -> acc + !cell) 0 !(t.cells) in
+  Mutex.unlock t.mutex;
+  v
+
+let reset t =
+  Mutex.lock t.mutex;
+  List.iter (fun cell -> cell := 0) !(t.cells);
+  Mutex.unlock t.mutex

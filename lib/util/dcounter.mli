@@ -1,0 +1,31 @@
+(** A domain-distributed counter: contention-free increments, merged reads.
+
+    Each domain increments a private cell (held in domain-local storage),
+    so hot-path {!incr} never takes a lock or bounces a cache line between
+    domains.  {!value} sums the cells; the result is a consistent total
+    once the incrementing domains have quiesced, and a best-effort
+    snapshot while they are still running (individual cell reads are
+    atomic — no torn values — but the sum may lag in-flight increments).
+
+    Cells of terminated domains stay registered, so their counts are
+    never lost.  This is the primitive behind the observability layer's
+    metric counters and the instrumentation counters inside {!Pool},
+    {!Memo_cache} and {!Interp}. *)
+
+type t
+
+val make : unit -> t
+(** A fresh counter at zero. *)
+
+val incr : t -> unit
+(** Add one to the calling domain's cell. *)
+
+val add : t -> int -> unit
+(** Add [n] to the calling domain's cell. *)
+
+val value : t -> int
+(** Sum of all domains' cells. *)
+
+val reset : t -> unit
+(** Zero every registered cell.  Racing increments on other domains may
+    survive the reset; quiesce first for an exact zero. *)

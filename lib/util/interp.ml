@@ -123,11 +123,28 @@ let grid3_make ?pool ~xs ~ys ~zs ~f () =
   let values = Array.init nx (fun i -> Array.sub rows (i * ny) ny) in
   { xs; ys; zs; values }
 
-let trilinear g x y z =
-  let clamp axis v =
-    Floatx.clamp ~lo:axis.(0) ~hi:axis.(Array.length axis - 1) v
-  in
-  let x = clamp g.xs x and y = clamp g.ys y and z = clamp g.zs z in
+(* Out-of-range grid queries are exactly where table models go quietly
+   wrong (the PX302 failure mode), so every axis clamp on a live query is
+   counted — the observability layer exposes the total as a registry
+   counter. *)
+let grid_clamp_counter = Dcounter.make ()
+let grid_clamp_events () = Dcounter.value grid_clamp_counter
+let reset_grid_clamp_events () = Dcounter.reset grid_clamp_counter
+
+let resolve_axis ~extrapolation axis v =
+  let lo = axis.(0) and hi = axis.(Array.length axis - 1) in
+  if v >= lo && v <= hi then v
+  else
+    match extrapolation with
+    | Clamp ->
+      Dcounter.incr grid_clamp_counter;
+      Floatx.clamp ~lo ~hi v
+    | Linear -> v
+
+let trilinear ?(extrapolation = Clamp) g x y z =
+  let x = resolve_axis ~extrapolation g.xs x
+  and y = resolve_axis ~extrapolation g.ys y
+  and z = resolve_axis ~extrapolation g.zs z in
   let ix = bracket g.xs x and iy = bracket g.ys y and iz = bracket g.zs z in
   let tx = (x -. g.xs.(ix)) /. (g.xs.(ix + 1) -. g.xs.(ix)) in
   let ty = (y -. g.ys.(iy)) /. (g.ys.(iy + 1) -. g.ys.(iy)) in
@@ -137,16 +154,15 @@ let trilinear g x y z =
   let along_yz i = Floatx.lerp (along_z i 0) (along_z i 1) ty in
   Floatx.lerp (along_yz 0) (along_yz 1) tx
 
-let bilinear_pchip_z g x y z =
-  let clamp axis v =
-    Floatx.clamp ~lo:axis.(0) ~hi:axis.(Array.length axis - 1) v
-  in
-  let x = clamp g.xs x and y = clamp g.ys y and z = clamp g.zs z in
+let bilinear_pchip_z ?(extrapolation = Clamp) g x y z =
+  let x = resolve_axis ~extrapolation g.xs x
+  and y = resolve_axis ~extrapolation g.ys y
+  and z = resolve_axis ~extrapolation g.zs z in
   let ix = bracket g.xs x and iy = bracket g.ys y in
   let tx = (x -. g.xs.(ix)) /. (g.xs.(ix + 1) -. g.xs.(ix)) in
   let ty = (y -. g.ys.(iy)) /. (g.ys.(iy + 1) -. g.ys.(iy)) in
   let along_z i j =
-    pchip_eval (pchip_make g.zs g.values.(ix + i).(iy + j)) z
+    pchip_eval ~extrapolation (pchip_make g.zs g.values.(ix + i).(iy + j)) z
   in
   let along_yz i = Floatx.lerp (along_z i 0) (along_z i 1) ty in
   Floatx.lerp (along_yz 0) (along_yz 1) tx

@@ -61,12 +61,25 @@ val grid3_make :
     several domains at once.  The result is bit-identical to the serial
     evaluation whatever the pool width. *)
 
-val trilinear : grid3 -> float -> float -> float -> float
-(** [trilinear g x y z] is trilinear interpolation with clamping to the
-    grid's bounding box. *)
+val trilinear :
+  ?extrapolation:extrapolation -> grid3 -> float -> float -> float -> float
+(** [trilinear g x y z] is trilinear interpolation.  Extrapolation policy
+    as in {!linear} (default [Clamp]: queries outside the bounding box
+    evaluate at the nearest face; [Linear] extends each boundary cell's
+    gradient). *)
 
-val bilinear_pchip_z : grid3 -> float -> float -> float -> float
+val bilinear_pchip_z :
+  ?extrapolation:extrapolation -> grid3 -> float -> float -> float -> float
 (** Like {!trilinear} but with monotone-cubic (PCHIP) interpolation along
     the [z] axis and linear interpolation across [x] and [y] — the right
     tool when the tabulated surface is smooth in two axes but strongly
     curved in the third (the proximity macromodels' separation axis). *)
+
+val grid_clamp_events : unit -> int
+(** Number of grid-query axis clamps so far: one per axis, per 3-D
+    evaluation, whose query fell outside the tabulated range under the
+    [Clamp] policy.  A nonzero count means some model was silently
+    saturated (the PX302 failure mode); the observability layer surfaces
+    it as the [interp.grid_clamps] counter. *)
+
+val reset_grid_clamp_events : unit -> unit

@@ -7,9 +7,9 @@
     blocks on the shard's condition variable instead of duplicating the
     work — exactly one transient analysis ever runs per distinct query.
 
-    If the computing domain raises, the pending entry is removed, all
-    waiters retry (and typically re-raise from their own attempt), and
-    the exception propagates to every caller.
+    If the computing domain raises, the pending entry is removed (counted
+    as an eviction), all waiters retry (and typically re-raise from their
+    own attempt), and the exception propagates to every caller.
 
     The computation must not re-enter the cache with the same key from
     the same domain — that would self-deadlock on the pending entry. *)
@@ -36,13 +36,31 @@ val length : ('k, 'v) t -> int
 (** Number of completed entries across all shards. *)
 
 type stats = {
-  hits : int;  (** queries answered from the cache, including waits on
-                   another domain's in-flight computation *)
+  hits : int;  (** queries answered from a completed entry without
+                   blocking *)
   misses : int;  (** computations actually started *)
+  waits : int;  (** queries answered only after blocking on another
+                    domain's in-flight computation *)
+  evictions : int;  (** entries removed because their computation
+                        raised *)
   entries : int;  (** completed entries currently stored *)
 }
+(** Counters are updated under the owning shard's lock, so a sample is
+    internally consistent: [hits + misses + waits] is exactly the number
+    of completed {!find_or_compute} calls at the sampling instant. *)
 
 val stats : ('k, 'v) t -> stats
 
 val reset_stats : ('k, 'v) t -> unit
-(** Zero the hit/miss counters ([entries] is unaffected). *)
+(** Zero the counters ([entries] is unaffected). *)
+
+(** Process-wide totals across every cache in the process, mirrored on
+    contention-free per-domain counters ({!Dcounter}).  The observability
+    layer registers these as the [cache.*] registry counters. *)
+module Global : sig
+  val hits : unit -> int
+  val misses : unit -> int
+  val waits : unit -> int
+  val evictions : unit -> int
+  val reset : unit -> unit
+end

@@ -38,6 +38,25 @@ let run_serially f =
 
 let domains t = t.width
 
+(* --- observability ------------------------------------------------- *)
+
+(* Process-wide job counters and a span hook.  The hook defaults to a
+   pass-through closure so the uninstrumented pool stays dependency-free;
+   the observability layer installs a tracing wrapper at enable time. *)
+let c_parallel_jobs = Dcounter.make ()
+let c_serial_jobs = Dcounter.make ()
+let c_tasks = Dcounter.make ()
+let c_active = Atomic.make 0
+let parallel_jobs () = Dcounter.value c_parallel_jobs
+let serial_jobs () = Dcounter.value c_serial_jobs
+let tasks_dispatched () = Dcounter.value c_tasks
+let active_domains () = Atomic.get c_active
+
+type instrument = name:string -> total:int -> (unit -> unit) -> unit
+
+let instrument : instrument ref = ref (fun ~name:_ ~total:_ f -> f ())
+let set_instrument i = instrument := i
+
 let execute pool job =
   let flag = Domain.DLS.get busy_key in
   let saved = !flag in
@@ -63,7 +82,10 @@ let execute pool job =
       claim ()
     end
   in
-  claim ();
+  Atomic.incr c_active;
+  Fun.protect
+    ~finally:(fun () -> Atomic.decr c_active)
+    (fun () -> !instrument ~name:"pool.run" ~total:job.total claim);
   flag := saved
 
 let worker_loop pool =
@@ -119,8 +141,15 @@ let serial_for ~n f =
 
 let parallel_for pool ~n f =
   if n <= 0 then ()
-  else if pool.width = 1 || n = 1 || busy () || pool.stop then serial_for ~n f
+  else if pool.width = 1 || n = 1 || busy () || pool.stop then begin
+    Dcounter.incr c_serial_jobs;
+    Dcounter.add c_tasks n;
+    serial_for ~n f
+  end
   else begin
+    Dcounter.incr c_parallel_jobs;
+    Dcounter.add c_tasks n;
+    !instrument ~name:"pool.job" ~total:n (fun () ->
     Mutex.lock pool.submit_m;
     let job =
       {
@@ -146,7 +175,7 @@ let parallel_for pool ~n f =
     Mutex.unlock pool.submit_m;
     match job.failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+    | None -> ())
   end
 
 let map pool f arr =

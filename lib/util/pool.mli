@@ -55,6 +55,36 @@ val run_serially : (unit -> 'a) -> 'a
     degrades to a plain loop.  Used by the [--domains 1] fallbacks and
     by determinism tests. *)
 
+(** {1 Observability}
+
+    Process-wide counters over every pool in the process, plus a span
+    hook.  The counters are contention-free ({!Dcounter}); the
+    observability layer registers them as [pool.*] registry metrics. *)
+
+val parallel_jobs : unit -> int
+(** Jobs that actually fanned out across domains. *)
+
+val serial_jobs : unit -> int
+(** Jobs that degraded to a plain loop (width 1, single index, nested
+    call, or post-shutdown submission). *)
+
+val tasks_dispatched : unit -> int
+(** Total indices dispatched across all jobs, serial or parallel. *)
+
+val active_domains : unit -> int
+(** Domains currently executing job indices — the instantaneous pool
+    utilization, sampled by the [pool.active_domains] gauge. *)
+
+type instrument = name:string -> total:int -> (unit -> unit) -> unit
+
+val set_instrument : instrument -> unit
+(** Install a wrapper around pool work.  Each parallel job submission is
+    wrapped once as ["pool.job"], and each domain's participation in a
+    job as ["pool.run"] ([total] is the job's index count), so a tracing
+    hook sees one queue/run span pair per task per domain.  The default
+    hook is a pass-through; the wrapper must call the thunk exactly
+    once. *)
+
 (** {1 The process-wide default pool}
 
     Library entry points take [?pool] arguments defaulting to this pool,

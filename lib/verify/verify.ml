@@ -7,6 +7,11 @@ module Graph = Proxim_timing.Graph
 module Design = Proxim_sta.Design
 module Sta = Proxim_sta.Sta
 module Diagnostic = Proxim_lint.Diagnostic
+module Trace = Proxim_obs.Trace
+module Metrics = Proxim_obs.Metrics
+
+(* one count per fixpoint round that actually grew a hull *)
+let c_widenings = Metrics.Counter.v "verify.fixpoint_widenings"
 
 (* --- inputs ----------------------------------------------------------- *)
 
@@ -231,7 +236,10 @@ let fold_abstract (m : Models.t) ~edge ~assist yd others =
     let r' = running inv_t1ref (List.map snd cs) in
     if n = 0 || (Interval.subset d' d_hull && Interval.subset r' rate_hull)
     then (cs, d_hull, rate_hull)
-    else iterate (n - 1) (Interval.hull d_hull d') (Interval.hull rate_hull r')
+    else begin
+      Metrics.Counter.incr c_widenings;
+      iterate (n - 1) (Interval.hull d_hull d') (Interval.hull rate_hull r')
+    end
   in
   let cs, _, _ = iterate 12 d1_ref inv_t1ref in
   let delay_out =
@@ -501,8 +509,10 @@ let analyze ?(mode = Sta.Proximity) ~models ~thresholds design ~pi =
             ci_tau_escape = tau_escape;
           }
   in
-  Array.iter process (Graph.topological g);
+  Trace.with_span ~cat:"verify" "verify.propagate" (fun () ->
+    Array.iter process (Graph.topological g));
   let unconstrained =
+    Trace.with_span ~cat:"verify" "verify.unconstrained" @@ fun () ->
     Array.to_list (Graph.primary_inputs g)
     |> List.filter_map (fun net ->
          if arrivals.(net) <> None then None
@@ -588,6 +598,7 @@ let prune_mask t =
 let ps i = Interval.scale 1e12 i
 
 let check ?file t =
+  Trace.with_span ~cat:"verify" "verify.check" @@ fun () ->
   let diags = ref [] in
   let add d = diags := d :: !diags in
   Array.iter

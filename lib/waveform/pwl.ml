@@ -1,5 +1,15 @@
 type t = { pts : (float * float) array }
 
+exception Empty_window of { lo : float; hi : float }
+
+let () =
+  Printexc.register_printer (function
+    | Empty_window { lo; hi } ->
+      Some
+        (Printf.sprintf
+           "Pwl: waveform window [%g, %g] produced no candidate points" lo hi)
+    | _ -> None)
+
 type direction = Rising | Falling | Either
 
 let of_points lst =
@@ -125,7 +135,7 @@ let window_candidates w ~lo ~hi =
 
 let best_candidate better w ~lo ~hi =
   match window_candidates w ~lo ~hi with
-  | [] -> assert false
+  | [] -> raise (Empty_window { lo; hi })
   | first :: rest ->
     let pick ((_, bv) as best) ((_, v) as c) =
       if better v bv then c else best

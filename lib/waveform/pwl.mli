@@ -9,6 +9,13 @@
 
 type t
 
+exception Empty_window of { lo : float; hi : float }
+(** Internal-invariant error: a window search ({!extremum}/{!maximum})
+    produced no candidate points.  Every window contributes at least its
+    two endpoints, so seeing this means the invariant broke; it carries
+    the offending window bounds instead of dying on a bare
+    [assert false].  A printer is registered. *)
+
 type direction = Rising | Falling | Either
 (** Crossing direction filter for {!crossings} and friends. *)
 
