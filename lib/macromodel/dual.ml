@@ -127,16 +127,13 @@ let build ?(x_tau = default_x_tau) ?(x_sep = default_x_sep) ?opts ?pool gate th
     let obs = oracle ?opts gate th ~dom ~other ~edge ~tau_dom ~tau_other ~sep in
     obs.Measure.out_transition /. t1
   in
-  {
-    dom;
-    other;
-    edge;
-    assist;
-    delay_grid =
-      Interp.grid3_make ~pool ~xs:ln_tau ~ys:ln_tau ~zs:x_sep ~f:delay_f ();
-    trans_grid =
-      Interp.grid3_make ~pool ~xs:ln_tau ~ys:ln_tau ~zs:x_sep ~f:trans_f ();
-  }
+  (* both grids share one batched pool job, so every domain stays fed
+     across the full 2 * |ln_tau|^2 * |x_sep| transient sweep *)
+  let grids =
+    Interp.grid3_make_many ~pool ~xs:ln_tau ~ys:ln_tau ~zs:x_sep
+      ~fs:[| delay_f; trans_f |] ()
+  in
+  { dom; other; edge; assist; delay_grid = grids.(0); trans_grid = grids.(1) }
 
 (* --- serialization ------------------------------------------------- *)
 

@@ -35,10 +35,11 @@ let merge_stats (a : Memo_cache.stats) (b : Memo_cache.stats) =
     waits = a.Memo_cache.waits + b.Memo_cache.waits;
     evictions = a.Memo_cache.evictions + b.Memo_cache.evictions;
     entries = a.Memo_cache.entries + b.Memo_cache.entries;
+    local_hits = a.Memo_cache.local_hits + b.Memo_cache.local_hits;
   }
 
 let synthetic ?(seed = 0) ?(spread = 0.1) ?(work = 0) gate =
-  let cache = Memo_cache.create ~shards:4 () in
+  let cache = Memo_cache.create ~shards:4 ~local:true () in
   let jitter key =
     (* deterministic per-(gate, seed, key) value in [0, 1) *)
     let h = Hashtbl.hash (gate.Gate.name, seed, key) in
@@ -122,8 +123,8 @@ let synthetic ?(seed = 0) ?(spread = 0.1) ?(work = 0) gate =
   }
 
 let of_oracle ?opts ?load gate th =
-  let single_cache = Memo_cache.create () in
-  let dual_cache = Memo_cache.create () in
+  let single_cache = Memo_cache.create ~local:true () in
+  let dual_cache = Memo_cache.create ~local:true () in
   let single ~pin ~edge ~tau =
     Memo_cache.find_or_compute single_cache (pin, edge, tau) (fun () ->
       Measure.single_input ?opts ?load gate th ~pin ~edge ~tau)
@@ -161,8 +162,8 @@ let of_oracle ?opts ?load gate th =
   }
 
 let of_tables ?opts ?taus ?x_tau ?x_sep ?(share_others = false) ?pool gate th =
-  let singles = Memo_cache.create ~shards:4 () in
-  let duals = Memo_cache.create ~shards:4 () in
+  let singles = Memo_cache.create ~shards:4 ~local:true () in
+  let duals = Memo_cache.create ~shards:4 ~local:true () in
   let single ~pin ~edge =
     Memo_cache.find_or_compute singles (pin, edge) (fun () ->
       Single.build ?taus ?opts ?pool gate th ~pin ~edge)

@@ -32,6 +32,62 @@ let strength gate ~edge =
 
 let default_taus = Floatx.logspace 20e-12 5e-9 16
 
+(* All (table, tau) transients of a batch go through one pool job, so
+   the domains stay fed across the whole sweep instead of draining
+   between per-table jobs.  Per-table assembly (sort + pchip fit) is
+   unchanged, so the batch is bit-identical to one [build] per spec. *)
+let build_batch ~taus ?opts ~pool gate th specs =
+  let vdd = gate.Gate.tech.Tech.vdd in
+  let c_build = gate.Gate.load in
+  let c_parasitic = Gate.output_parasitic gate in
+  let ks = Array.map (fun (_, edge) -> strength gate ~edge) specs in
+  let nt = Array.length taus in
+  let sample idx =
+    let s = idx / nt in
+    let pin, edge = specs.(s) in
+    let tau = taus.(idx mod nt) in
+    let obs = Measure.single_input ?opts gate th ~pin ~edge ~tau in
+    let u = (c_build +. c_parasitic) /. (ks.(s) *. vdd *. tau) in
+    (log u, obs.Measure.delay /. tau, obs.Measure.out_transition /. tau)
+  in
+  let flat =
+    Proxim_util.Pool.map pool sample
+      (Array.init (Array.length specs * nt) Fun.id)
+  in
+  Array.mapi
+    (fun s (pin, edge) ->
+      let samples = Array.sub flat (s * nt) nt in
+      (* sort by the dimensionless argument (tau descending -> u
+         ascending) *)
+      Array.sort (fun (a, _, _) (b, _, _) -> compare a b) samples;
+      let xs = Array.map (fun (x, _, _) -> x) samples in
+      let d = Array.map (fun (_, d, _) -> d) samples in
+      let tr = Array.map (fun (_, _, t) -> t) samples in
+      {
+        pin;
+        edge;
+        k = ks.(s);
+        vdd;
+        c_build;
+        c_parasitic;
+        delay_tbl = Interp.pchip_make xs d;
+        trans_tbl = Interp.pchip_make xs tr;
+      })
+    specs
+
+let build_many ?(taus = default_taus) ?opts ?pool gate th specs =
+  Proxim_obs.Trace.Span.with_ ~cat:"characterize" ~name:"single.build_many"
+    ~args:
+      [
+        ("gate", gate.Gate.name);
+        ("tables", string_of_int (Array.length specs));
+      ]
+  @@ fun () ->
+  let pool =
+    match pool with Some p -> p | None -> Proxim_util.Pool.default ()
+  in
+  build_batch ~taus ?opts ~pool gate th specs
+
 let build ?(taus = default_taus) ?opts ?pool gate th ~pin ~edge =
   Proxim_obs.Trace.Span.with_ ~cat:"characterize" ~name:"single.build"
     ~args:
@@ -41,34 +97,10 @@ let build ?(taus = default_taus) ?opts ?pool gate th ~pin ~edge =
         ("edge", match edge with Measure.Rise -> "rise" | Fall -> "fall");
       ]
   @@ fun () ->
-  let k = strength gate ~edge in
-  let vdd = gate.Gate.tech.Tech.vdd in
-  let c_build = gate.Gate.load in
-  let c_parasitic = Gate.output_parasitic gate in
-  let sample tau =
-    let obs = Measure.single_input ?opts gate th ~pin ~edge ~tau in
-    let u = (c_build +. c_parasitic) /. (k *. vdd *. tau) in
-    (log u, obs.Measure.delay /. tau, obs.Measure.out_transition /. tau)
-  in
   let pool =
     match pool with Some p -> p | None -> Proxim_util.Pool.default ()
   in
-  let samples = Proxim_util.Pool.map pool sample taus in
-  (* sort by the dimensionless argument (tau descending -> u ascending) *)
-  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) samples;
-  let xs = Array.map (fun (x, _, _) -> x) samples in
-  let d = Array.map (fun (_, d, _) -> d) samples in
-  let tr = Array.map (fun (_, _, t) -> t) samples in
-  {
-    pin;
-    edge;
-    k;
-    vdd;
-    c_build;
-    c_parasitic;
-    delay_tbl = Interp.pchip_make xs d;
-    trans_tbl = Interp.pchip_make xs tr;
-  }
+  (build_batch ~taus ?opts ~pool gate th [| (pin, edge) |]).(0)
 
 let argument ?c_load t ~tau =
   let c = Option.value ~default:t.c_build c_load in

@@ -43,6 +43,21 @@ val build :
     [pool], the sweep's transient analyses run across the pool's domains;
     the table is bit-identical to a serial build. *)
 
+val build_many :
+  ?taus:float array ->
+  ?opts:Proxim_spice.Options.t ->
+  ?pool:Proxim_util.Pool.t ->
+  Proxim_gates.Gate.t ->
+  Proxim_vtc.Vtc.thresholds ->
+  (int * Proxim_measure.Measure.edge) array ->
+  t array
+(** Build one table per [(pin, edge)] spec, batching every (table, tau)
+    transient of the whole set into a single pool job — with [n] specs
+    the job carries [n * length taus] tasks, so the pool's domains stay
+    fed across the entire characterization instead of draining between
+    per-table builds.  Each returned table is bit-identical to the
+    corresponding {!build} call. *)
+
 val delay : ?c_load:float -> t -> tau:float -> float
 (** Predicted [Delta^(1)] for an input of transition time [tau].
     [c_load] defaults to the load the table was built at. *)

@@ -22,15 +22,16 @@ let characterize ?opts ?taus ?x_tau ?x_sep
   let pool =
     match pool with Some p -> p | None -> Proxim_util.Pool.default ()
   in
-  (* parallelize across tables (coarse); each build then runs serially on
-     its domain because nested pool use degrades to a plain loop *)
-  let pmap f l = Proxim_util.Pool.map_list pool f l in
+  (* every (table, tau) transient of the single sweep is one batched
+     pool job, so the domains stay fed across the whole set instead of
+     draining between per-table builds *)
   let singles =
-    pmap
-      (fun (pin, edge) -> Single.build ?taus ?opts ~pool gate th ~pin ~edge)
-      (List.concat_map
-         (fun edge -> List.map (fun pin -> (pin, edge)) pins)
-         edges)
+    Array.to_list
+      (Single.build_many ?taus ?opts ~pool gate th
+         (Array.of_list
+            (List.concat_map
+               (fun edge -> List.map (fun pin -> (pin, edge)) pins)
+               edges)))
   in
   let find_single pin edge =
     List.find (fun s -> Single.pin s = pin && Single.edge s = edge) singles
@@ -38,7 +39,12 @@ let characterize ?opts ?taus ?x_tau ?x_sep
   let duals =
     if not with_duals then []
     else
-      pmap
+      (* dual tables run one after another, each fanning its own
+         2-grid batched job across the pool: the per-table row count
+         (2 * |x_tau|^2 * |x_sep|) is already much wider than any pool,
+         and keeping the table the unit of work preserves the build
+         order of the archive *)
+      List.map
         (fun (dom, other, edge) ->
           Dual.build ?x_tau ?x_sep ?opts ~pool gate th
             ~single_dom:(find_single dom edge)
@@ -86,6 +92,7 @@ let to_models gate set =
           waits = 0;
           evictions = 0;
           entries = 0;
+          local_hits = 0;
         });
     assist =
       (fun ~edge ~pins ->

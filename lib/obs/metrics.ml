@@ -392,9 +392,12 @@ let install_util_sources ?(registry = default) () =
   register_counter_source ~registry "cache.misses" M.Global.misses;
   register_counter_source ~registry "cache.waits" M.Global.waits;
   register_counter_source ~registry "cache.evictions" M.Global.evictions;
+  register_counter_source ~registry "cache.local_hits" M.Global.local_hits;
   register_counter_source ~registry "pool.parallel_jobs" P.parallel_jobs;
   register_counter_source ~registry "pool.serial_jobs" P.serial_jobs;
   register_counter_source ~registry "pool.tasks" P.tasks_dispatched;
+  register_counter_source ~registry "pool.chunks" P.chunks_dispatched;
+  register_counter_source ~registry "pool.steals" P.steals;
   register_gauge_source ~registry "pool.active_domains" (fun () ->
     float_of_int (P.active_domains ()));
   register_counter_source ~registry "interp.grid_clamps" I.grid_clamp_events

@@ -458,7 +458,7 @@ let factory_of ~cache ~key_of ~build =
 let load_bucket load = int_of_float ((load *. 1e15) +. 0.5)
 
 let oracle_factory ?opts ?wire_cap design th =
-  let cache = Memo_cache.create ~shards:4 () in
+  let cache = Memo_cache.create ~shards:4 ~local:true () in
   factory_of ~cache
     ~key_of:(fun (cell : Design.cell) ->
       let load =
@@ -473,7 +473,7 @@ let oracle_factory ?opts ?wire_cap design th =
 
 let table_factory ?opts ?wire_cap ?taus ?x_tau ?x_sep ?share_others ?pool
     design th =
-  let cache = Memo_cache.create ~shards:4 () in
+  let cache = Memo_cache.create ~shards:4 ~local:true () in
   factory_of ~cache
     ~key_of:(fun (cell : Design.cell) ->
       let load =
@@ -491,7 +491,7 @@ let table_factory ?opts ?wire_cap ?taus ?x_tau ?x_sep ?share_others ?pool
       Models.of_tables ?opts ?taus ?x_tau ?x_sep ?share_others ?pool gate th)
 
 let synthetic_factory ?seed ?spread ?work () =
-  let cache = Memo_cache.create ~shards:4 () in
+  let cache = Memo_cache.create ~shards:4 ~local:true () in
   factory_of ~cache
     ~key_of:(fun (cell : Design.cell) -> cell.Design.gate.Gate.name)
     ~build:(fun (cell : Design.cell) ->

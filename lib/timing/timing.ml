@@ -27,10 +27,13 @@ type 'cell t = {
   sources : arrival option array;  (* per net; meaningful for undriven nets *)
   verdicts : verdict option array;  (* per cell *)
   (* scratch reused across [update] calls so the ECO hot path does not
-     allocate per call; both are restored to all-false / all-[] before
-     [update] returns (each level resets its own entries as it drains) *)
+     allocate per call; all are restored to all-false / all-[] / all-None
+     before [update] returns (each level resets its own entries as it
+     drains) *)
   queued : bool array;
   buckets : int list array;
+  eval_scratch : verdict option array;  (* slot i = result for the i-th
+                                           cell of the level in flight *)
 }
 
 type stats = { evaluated : int; changed : int; total_cells : int }
@@ -43,6 +46,7 @@ let create graph ~engine =
     verdicts = Array.make (Graph.cell_count graph) None;
     queued = Array.make (Graph.cell_count graph) false;
     buckets = Array.make (max (Graph.level_count graph) 1) [];
+    eval_scratch = Array.make (Graph.cell_count graph) None;
   }
 
 let graph t = t.graph
@@ -98,6 +102,11 @@ let compute t cell_id =
   done;
   t.engine (Graph.payload g cell_id) !inputs
 
+(* Levels narrower than this are timed serially: fanning out costs a
+   submit/park handshake with the workers, which only pays for itself
+   once a level carries a few dozen engine evaluations. *)
+let parallel_threshold = 32
+
 let update ?pool t ~dirty_nets ~dirty_cells =
   let g = t.graph in
   let n_levels = Graph.level_count g in
@@ -128,25 +137,42 @@ let update ?pool t ~dirty_nets ~dirty_cells =
         List.iter (fun c -> queued.(c) <- false) dirty;
         let eval_level () =
           let cells = Array.of_list (List.sort Int.compare dirty) in
-          (* cells of one level only read strictly lower levels, so they
-             can be evaluated concurrently; results are applied
-             level-by-level *)
-          let results =
-            if Array.length cells = 1 then Array.map (compute t) cells
-            else Pool.map pool (compute t) cells
+          let width = Array.length cells in
+          (* verdicts are always applied on the caller in index order, so
+             the outcome is bit-identical whichever path computed them *)
+          let apply i v =
+            let c = cells.(i) in
+            if not (verdict_eq t.verdicts.(c) v) then begin
+              t.verdicts.(c) <- v;
+              incr changed;
+              Array.iter
+                (fun (r, _) -> enqueue r)
+                (Graph.readers g ~net:(Graph.cell_output g c))
+            end
           in
-          evaluated := !evaluated + Array.length cells;
-          Array.iteri
-            (fun i v ->
-              let c = cells.(i) in
-              if not (verdict_eq t.verdicts.(c) v) then begin
-                t.verdicts.(c) <- v;
-                incr changed;
-                Array.iter
-                  (fun (r, _) -> enqueue r)
-                  (Graph.readers g ~net:(Graph.cell_output g c))
-              end)
-            results
+          evaluated := !evaluated + width;
+          let d = Pool.domains pool in
+          if width < parallel_threshold || d = 1 then
+            (* applying verdict i before computing i+1 is safe: cells of
+               one level only read strictly lower levels, and enqueue
+               only touches higher buckets *)
+            for i = 0 to width - 1 do
+              apply i (compute t cells.(i))
+            done
+          else begin
+            (* chunked fan-out: ~2 contiguous slices per domain over the
+               sorted dense-id array — coarse enough that a chunk claim
+               is noise, with one spare slice per domain for the steal
+               loop to rebalance uneven engine costs *)
+            let scratch = t.eval_scratch in
+            let chunk = max 1 ((width + (2 * d) - 1) / (2 * d)) in
+            Pool.parallel_for ~chunk pool ~n:width (fun i ->
+              scratch.(i) <- compute t cells.(i));
+            for i = 0 to width - 1 do
+              apply i scratch.(i);
+              scratch.(i) <- None
+            done
+          end
         in
         (* the argument strings are only worth allocating when a trace is
            being recorded; with tracing off this is one atomic load *)
@@ -168,6 +194,7 @@ let update ?pool t ~dirty_nets ~dirty_cells =
      let bt = Printexc.get_raw_backtrace () in
      Array.fill queued 0 (Array.length queued) false;
      Array.fill buckets 0 (Array.length buckets) [];
+     Array.fill t.eval_scratch 0 (Array.length t.eval_scratch) None;
      Printexc.raise_with_backtrace e bt);
   Metrics.Counter.add c_evaluated !evaluated;
   Metrics.Counter.add c_changed !changed;

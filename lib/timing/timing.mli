@@ -74,11 +74,19 @@ type stats = {
   total_cells : int;
 }
 
+val parallel_threshold : int
+(** Levels narrower than this many cells are timed serially on the
+    caller; at or above it, the level's sorted dense-id array is split
+    into ~2 contiguous chunks per pool domain and fanned out through
+    {!Pool.parallel_for} (the steal loop rebalances uneven engine
+    costs).  Verdicts are always applied on the caller in index order,
+    so results are bit-identical either way. *)
+
 val analyze : ?pool:Pool.t -> 'cell t -> stats
 (** Full propagation from scratch: clears every verdict, then evaluates
-    all cells level-by-level.  Cells of one level are timed concurrently
-    on [pool] (default {!Pool.default}); results are bit-identical to a
-    serial run at any pool width. *)
+    all cells level-by-level.  Levels at least {!parallel_threshold}
+    wide are timed concurrently on [pool] (default {!Pool.default});
+    results are bit-identical to a serial run at any pool width. *)
 
 val update :
   ?pool:Pool.t -> 'cell t -> dirty_nets:int list -> dirty_cells:int list -> stats

@@ -103,25 +103,37 @@ type grid3 = {
   values : float array array array;
 }
 
-let grid3_make ?pool ~xs ~ys ~zs ~f () =
+let grid3_make_many ?pool ~xs ~ys ~zs ~fs () =
   check_axis xs;
   check_axis ys;
   check_axis zs;
   let nx = Array.length xs and ny = Array.length ys in
-  (* one task per (x, y) row: coarse enough to amortize scheduling, fine
-     enough to load-balance transient analyses of uneven cost *)
+  let nf = Array.length fs in
+  let rows_per = nx * ny in
+  (* one task per (grid, x, y) row: coarse enough to amortize scheduling,
+     fine enough to load-balance transient analyses of uneven cost — and
+     batching the grids into one job keeps every pool domain fed across
+     the whole build instead of draining per grid *)
   let row idx =
-    let x = xs.(idx / ny) and y = ys.(idx mod ny) in
+    let f = fs.(idx / rows_per) in
+    let r = idx mod rows_per in
+    let x = xs.(r / ny) and y = ys.(r mod ny) in
     Array.map (f x y) zs
   in
-  let indices = Array.init (nx * ny) Fun.id in
+  let indices = Array.init (nf * rows_per) Fun.id in
   let rows =
     match pool with
     | None -> Array.map row indices
     | Some pool -> Pool.map pool row indices
   in
-  let values = Array.init nx (fun i -> Array.sub rows (i * ny) ny) in
-  { xs; ys; zs; values }
+  Array.init nf (fun k ->
+    let values =
+      Array.init nx (fun i -> Array.sub rows ((k * rows_per) + (i * ny)) ny)
+    in
+    { xs; ys; zs; values })
+
+let grid3_make ?pool ~xs ~ys ~zs ~f () =
+  (grid3_make_many ?pool ~xs ~ys ~zs ~fs:[| f |] ()).(0)
 
 (* Out-of-range grid queries are exactly where table models go quietly
    wrong (the PX302 failure mode), so every axis clamp on a live query is

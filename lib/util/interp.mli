@@ -61,6 +61,20 @@ val grid3_make :
     several domains at once.  The result is bit-identical to the serial
     evaluation whatever the pool width. *)
 
+val grid3_make_many :
+  ?pool:Pool.t ->
+  xs:float array ->
+  ys:float array ->
+  zs:float array ->
+  fs:(float -> float -> float -> float) array ->
+  unit ->
+  grid3 array
+(** Tabulate several functions on the {e same} grid as one batched job:
+    all (grid, x, y) rows go through a single pool fan-out, so the
+    domains stay fed across the whole batch instead of draining between
+    per-grid jobs.  [grid3_make_many ~fs:[|f|]] ≡ [[|grid3_make ~f|]],
+    bit for bit. *)
+
 val trilinear :
   ?extrapolation:extrapolation -> grid3 -> float -> float -> float -> float
 (** [trilinear g x y z] is trilinear interpolation.  Extrapolation policy

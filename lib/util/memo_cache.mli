@@ -16,11 +16,21 @@
 
 type ('k, 'v) t
 
-val create : ?shards:int -> unit -> ('k, 'v) t
+val create : ?shards:int -> ?local:bool -> unit -> ('k, 'v) t
 (** [create ()] makes an empty cache with [shards] shards (default 16;
     clamped to at least 1).  Keys use polymorphic [Hashtbl.hash] and
     structural equality, like the plain [Hashtbl] memoization this
-    replaces. *)
+    replaces.
+
+    [~local:true] adds a warm path: each domain keeps an unsynchronized
+    read-through replica of the completed entries it has seen, so
+    repeated queries from a hot parallel loop are answered without
+    touching a mutex or a shared cache line.  The replica only ever
+    holds values that the shared tier completed — failed computations
+    are cached in neither tier — so it cannot diverge.  Use it for
+    caches whose values are immutable and re-queried many times per
+    domain (model factories during characterization); skip it for
+    caches queried about once per key. *)
 
 val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_compute cache key f] returns the cached value for [key],
@@ -44,15 +54,22 @@ type stats = {
   evictions : int;  (** entries removed because their computation
                         raised *)
   entries : int;  (** completed entries currently stored *)
+  local_hits : int;  (** queries answered from the caller's domain-local
+                         replica ([~local:true] caches only); counted on
+                         a contention-free {!Dcounter}, so this field is
+                         approximate while domains are actively querying *)
 }
-(** Counters are updated under the owning shard's lock, so a sample is
-    internally consistent: [hits + misses + waits] is exactly the number
-    of completed {!find_or_compute} calls at the sampling instant. *)
+(** The shard counters are updated under the owning shard's lock, so a
+    sample is internally consistent: [hits + misses + waits] is exactly
+    the number of completed shared-tier {!find_or_compute} calls at the
+    sampling instant.  [local_hits] come on top: a warm-path answer
+    touches no shard and appears in no other counter. *)
 
 val stats : ('k, 'v) t -> stats
 
 val reset_stats : ('k, 'v) t -> unit
-(** Zero the counters ([entries] is unaffected). *)
+(** Zero the counters, including [local_hits] ([entries] is
+    unaffected). *)
 
 (** Process-wide totals across every cache in the process, mirrored on
     contention-free per-domain counters ({!Dcounter}).  The observability
@@ -62,5 +79,6 @@ module Global : sig
   val misses : unit -> int
   val waits : unit -> int
   val evictions : unit -> int
+  val local_hits : unit -> int
   val reset : unit -> unit
 end

@@ -1,17 +1,26 @@
-(** A fixed-size domain pool for data-parallel characterization sweeps.
+(** A persistent work-stealing domain pool for data-parallel sweeps.
 
     Built on stdlib [Domain] + [Mutex]/[Condition] only (no external
-    dependencies).  The pool owns [domains - 1] worker domains; the
-    submitting domain participates in every job, so [create ~domains:n]
-    gives [n]-way parallelism.  Jobs are dynamic: workers pull indices
-    one at a time from a shared counter, which load-balances the wildly
-    varying cost of individual transient analyses.
+    dependencies).  The pool owns [domains - 1] worker domains, spawned
+    once at {!create} and reused for every subsequent job — submitting
+    work never spawns a domain.  The submitting domain participates in
+    every job, so [create ~domains:n] gives [n]-way parallelism.
+
+    Scheduling is chunked work-stealing: a job's index range is cut into
+    contiguous chunks, block-dealt across one queue per participating
+    domain.  Each domain drains its own queue first (contiguous indices,
+    cache-friendly sweeps over dense-id arrays) and then steals leftover
+    chunks from the other queues, which load-balances wildly varying
+    per-index costs (individual transient analyses) as well as skewed
+    chunk sizes.  A chunk claim is one [Atomic.fetch_and_add], so for
+    coarse chunks the scheduling cost per index is a fraction of an
+    atomic operation.
 
     Determinism: every index [i] writes only its own result slot, so
     {!map} and {!parallel_for} produce results that are bit-identical to
-    a serial loop regardless of the number of domains or the scheduling
-    order.  [create ~domains:1] never spawns a domain and degrades to a
-    plain loop.
+    a serial loop regardless of the number of domains, the chunk size or
+    the stealing order.  [create ~domains:1] never spawns a domain and
+    degrades to a plain loop.
 
     Nesting is safe: a task that itself calls {!map} or {!parallel_for}
     (on any pool) runs the inner job serially on its own domain instead
@@ -25,7 +34,9 @@ type t
 val create : domains:int -> t
 (** [create ~domains:n] spawns [n - 1] worker domains.  Raises
     [Invalid_argument] if [n < 1].  [n = 1] is the serial pool: no
-    domains are spawned and every job runs inline. *)
+    domains are spawned and every job runs inline.  Idle workers park on
+    a condition variable (a blocking section), so a pool between jobs
+    costs nothing and never stalls the GC of the running domain. *)
 
 val domains : t -> int
 (** The parallelism width the pool was created with. *)
@@ -34,19 +45,30 @@ val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent.  Jobs submitted after
     shutdown run serially on the calling domain. *)
 
-val parallel_for : t -> n:int -> (int -> unit) -> unit
-(** [parallel_for pool ~n f] runs [f 0 .. f (n-1)], distributing indices
-    across the pool's domains.  Blocks until every index has completed.
-    If any [f i] raises, the first exception (by completion order) is
-    re-raised in the caller after the job drains; remaining indices are
-    abandoned. *)
+val default_chunk : n:int -> domains:int -> int
+(** The default chunking policy: [max 1 (ceil (n / (4 * domains)))],
+    i.e. ~4 chunks per domain — coarse enough to amortize chunk claims,
+    with enough slack for the steal loop to rebalance skewed costs. *)
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
+(** [parallel_for pool ~n f] runs [f 0 .. f (n-1)], distributing
+    contiguous chunks of indices across the pool's domains and stealing
+    to rebalance.  Blocks until every index has completed.  [chunk] is
+    the number of indices per claim (default {!default_chunk}); pass
+    [~chunk:1] for fully dynamic per-index balancing of expensive,
+    uneven tasks.  Raises [Invalid_argument] if [chunk < 1].  Jobs with
+    [n <= chunk] run serially on the caller.  If any [f i] raises, the
+    first exception (by completion order) is re-raised in the caller
+    after the job drains; remaining chunks are abandoned. *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f arr] is [Array.map f arr] with the elements evaluated
     across the pool's domains.  Result order matches input order.
-    Exceptions propagate as in {!parallel_for}. *)
+    [chunk] defaults to [1]: map workloads here (transient analyses,
+    VTC curves) are expensive and uneven, so per-element claims
+    load-balance best.  Exceptions propagate as in {!parallel_for}. *)
 
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over a list, preserving order. *)
 
 val run_serially : (unit -> 'a) -> 'a
@@ -65,14 +87,23 @@ val parallel_jobs : unit -> int
 (** Jobs that actually fanned out across domains. *)
 
 val serial_jobs : unit -> int
-(** Jobs that degraded to a plain loop (width 1, single index, nested
-    call, or post-shutdown submission). *)
+(** Jobs that degraded to a plain loop (width 1, job no larger than one
+    chunk, nested call, or post-shutdown submission). *)
 
 val tasks_dispatched : unit -> int
 (** Total indices dispatched across all jobs, serial or parallel. *)
 
+val chunks_dispatched : unit -> int
+(** Chunks dealt out across parallel jobs.  [tasks / chunks] is the
+    average scheduling granularity actually achieved. *)
+
+val steals : unit -> int
+(** Chunks executed by a domain other than the queue's owner.  A steady
+    non-zero rate means the steal loop is rebalancing skewed work; zero
+    on a wide pool with uneven levels suggests chunks are too coarse. *)
+
 val active_domains : unit -> int
-(** Domains currently executing job indices — the instantaneous pool
+(** Domains currently executing job chunks — the instantaneous pool
     utilization, sampled by the [pool.active_domains] gauge. *)
 
 type instrument = name:string -> total:int -> (unit -> unit) -> unit
@@ -81,15 +112,18 @@ val set_instrument : instrument -> unit
 (** Install a wrapper around pool work.  Each parallel job submission is
     wrapped once as ["pool.job"], and each domain's participation in a
     job as ["pool.run"] ([total] is the job's index count), so a tracing
-    hook sees one queue/run span pair per task per domain.  The default
-    hook is a pass-through; the wrapper must call the thunk exactly
-    once. *)
+    hook sees one queue/run span pair per job per domain — the per-domain
+    occupancy of a job is the width of its ["pool.run"] spans.  The
+    default hook is a pass-through; the wrapper must call the thunk
+    exactly once. *)
 
 (** {1 The process-wide default pool}
 
     Library entry points take [?pool] arguments defaulting to this pool,
     so a single [--domains N] flag at the CLI/bench level configures the
-    whole characterization stack. *)
+    whole characterization and STA stack.  The default pool is created
+    once and reused by every [Store.characterize], [Sta.analyze] and
+    [Timing.update] call in the process. *)
 
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()]. *)

@@ -5,12 +5,16 @@
 module Pool = Proxim_util.Pool
 module Memo_cache = Proxim_util.Memo_cache
 module Floatx = Proxim_util.Floatx
+module Prng = Proxim_util.Prng
 module Gate = Proxim_gates.Gate
 module Tech = Proxim_gates.Tech
 module Vtc = Proxim_vtc.Vtc
 module Measure = Proxim_measure.Measure
 module Single = Proxim_macromodel.Single
 module Dual = Proxim_macromodel.Dual
+module Timing = Proxim_timing.Timing
+module Design = Proxim_sta.Design
+module Sta = Proxim_sta.Sta
 
 (* a shared wide pool keeps domain spawning out of the per-test cost *)
 let wide = lazy (Pool.create ~domains:4)
@@ -104,6 +108,64 @@ let test_shutdown_idempotent () =
   (* post-shutdown jobs degrade to serial rather than hanging *)
   let out = Pool.map pool (fun i -> i * 3) (Array.init 5 Fun.id) in
   Alcotest.(check int) "post-shutdown map" 12 out.(4)
+
+(* ------------------------------------------------------------------ *)
+(* Work-stealing internals: persistence, skewed chunks, nested chunks  *)
+
+let test_persistent_pool_reuse () =
+  let pool = Lazy.force wide in
+  let jobs_before = Pool.parallel_jobs () in
+  let calls = 50 in
+  for k = 1 to calls do
+    let out = Pool.map pool (fun i -> i + k) (Array.init 64 Fun.id) in
+    Alcotest.(check int) (Printf.sprintf "call %d result" k) (63 + k) out.(63)
+  done;
+  (* the same resident domains serve every call: each map is exactly one
+     parallel job submitted to the persistent pool, never a fresh spawn *)
+  Alcotest.(check int) "one parallel job per map" (jobs_before + calls)
+    (Pool.parallel_jobs ());
+  Alcotest.(check int) "pool width unchanged" 4 (Pool.domains pool)
+
+let test_steal_correctness_under_skew () =
+  let pool = Lazy.force wide in
+  let n = 64 in
+  (* chunk:4 block-deals 16 chunks, 4 per queue; all the heavy work sits
+     in queue 0's chunks (i < 16), so the other domains drain their own
+     queues immediately and finish the job through the steal loop *)
+  let spin i = if i < 16 then 30_000 else 10 in
+  let f i =
+    let acc = ref 0. in
+    for k = 1 to spin i do
+      acc := !acc +. sin (float_of_int ((i * 7) + k))
+    done;
+    !acc
+  in
+  let expect = Array.init n f in
+  let chunks_before = Pool.chunks_dispatched () in
+  let out = Pool.map ~chunk:4 pool f (Array.init n Fun.id) in
+  Alcotest.(check int) "16 chunks dispatched" (chunks_before + 16)
+    (Pool.chunks_dispatched ());
+  Alcotest.(check bool) "skewed map bit-identical to serial reference" true
+    (out = expect)
+
+let test_nested_parallel_for_chunked () =
+  let pool = Lazy.force wide in
+  let n = 40 in
+  let serial_before = Pool.serial_jobs () in
+  let out = Array.make n 0 in
+  Pool.parallel_for ~chunk:2 pool ~n (fun i ->
+    (* re-entry from a busy domain must degrade to a serial loop, even
+       with an explicit chunk size that would otherwise fan out *)
+    let inner = Array.make 8 0 in
+    Pool.parallel_for ~chunk:3 pool ~n:8 (fun j -> inner.(j) <- (i * 8) + j);
+    out.(i) <- Array.fold_left ( + ) 0 inner);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int) (Printf.sprintf "nested chunked %d" i)
+        ((i * 64) + 28) v)
+    out;
+  Alcotest.(check int) "each inner call counted as a serial job"
+    (serial_before + n) (Pool.serial_jobs ())
 
 (* ------------------------------------------------------------------ *)
 (* Memo cache                                                          *)
@@ -216,6 +278,99 @@ let test_vtc_family_parallel_matches_serial () =
   Alcotest.(check bool) "VTC families bit-identical" true (a = b)
 
 (* ------------------------------------------------------------------ *)
+(* Randomized STA equivalence on chunked levels: with a level width
+   above Timing.parallel_threshold every evaluation wave takes the
+   chunked parallel path, and incremental update must still match a
+   fresh full analysis bit-for-bit at 4 domains                        *)
+
+let nor2 = Gate.nor tech ~fan_in:2
+
+let mk_cell name gate inputs output =
+  { Design.name; gate; input_nets = inputs; output_net = output }
+
+let random_layered rng ~depth ~width =
+  let gates = [| nand2; nor2 |] in
+  let pis = Array.init width (Printf.sprintf "p%d") in
+  let prev = ref pis in
+  let cells = ref [] in
+  for layer = 0 to depth - 1 do
+    let layer_cells =
+      Array.init width (fun j ->
+          let gate = gates.(Prng.int rng ~lo:0 ~hi:1) in
+          let i0 = Prng.int rng ~lo:0 ~hi:(width - 1) in
+          let i1 = (i0 + Prng.int rng ~lo:1 ~hi:(width - 1)) mod width in
+          mk_cell
+            (Printf.sprintf "u%d_%d" layer j)
+            gate
+            [| (!prev).(i0); (!prev).(i1) |]
+            (Printf.sprintf "n%d_%d" layer j))
+    in
+    cells := Array.to_list layer_cells @ !cells;
+    prev := Array.map (fun c -> c.Design.output_net) layer_cells
+  done;
+  Design.create ~cells:(List.rev !cells)
+    ~primary_inputs:(Array.to_list pis)
+    ~primary_outputs:(Array.to_list !prev)
+
+let random_event rng =
+  {
+    Sta.time = Prng.float rng ~lo:0. ~hi:400e-12;
+    slew = Prng.float rng ~lo:100e-12 ~hi:600e-12;
+    edge = Measure.Fall;
+  }
+
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let arrival_bits_eq (a : Sta.arrival) (b : Sta.arrival) =
+  bits_eq a.Sta.time b.Sta.time
+  && bits_eq a.Sta.slew b.Sta.slew
+  && a.Sta.edge = b.Sta.edge
+
+let report_bits_eq (a : Sta.report) (b : Sta.report) =
+  List.length a.Sta.arrivals = List.length b.Sta.arrivals
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) -> n1 = n2 && arrival_bits_eq a1 a2)
+       a.Sta.arrivals b.Sta.arrivals
+  && (match (a.Sta.critical_po, b.Sta.critical_po) with
+      | None, None -> true
+      | Some (n1, a1), Some (n2, a2) -> n1 = n2 && arrival_bits_eq a1 a2
+      | _ -> false)
+  && a.Sta.predecessors = b.Sta.predecessors
+
+let test_sta_update_equals_analyze_chunked () =
+  let th = Lazy.force th in
+  let pool = Lazy.force wide in
+  let rng = Prng.create 0x9001L in
+  let width = Timing.parallel_threshold + 8 and depth = 3 in
+  let design = random_layered rng ~depth ~width in
+  let { Sta.models; _ } = Sta.synthetic_factory () in
+  let pis = Array.of_list (Design.primary_inputs design) in
+  let current =
+    ref (Array.to_list (Array.map (fun p -> (p, random_event rng)) pis))
+  in
+  let jobs_before = Pool.parallel_jobs () in
+  let ir =
+    Sta.build_ir ~mode:Sta.Proximity ~models ~thresholds:th design
+      ~pi:!current
+  in
+  ignore (Sta.reanalyze ~pool ir);
+  Alcotest.(check bool) "levels actually ran on the pool" true
+    (Pool.parallel_jobs () > jobs_before);
+  for step = 1 to 4 do
+    let net = pis.(Prng.int rng ~lo:0 ~hi:(Array.length pis - 1)) in
+    let e = random_event rng in
+    current := (net, e) :: List.remove_assoc net !current;
+    ignore (Sta.update ~pool ir [ Sta.Set_pi (net, Some e) ]);
+    let fresh =
+      Sta.build_ir ~mode:Sta.Proximity ~models ~thresholds:th design
+        ~pi:!current
+    in
+    ignore (Sta.reanalyze ~pool fresh);
+    if not (report_bits_eq (Sta.report ir) (Sta.report fresh)) then
+      Alcotest.failf "update <> analyze on chunked levels: step %d" step
+  done
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "pool"
@@ -238,6 +393,12 @@ let () =
           Alcotest.test_case "run_serially" `Quick test_run_serially;
           Alcotest.test_case "shutdown is idempotent" `Quick
             test_shutdown_idempotent;
+          Alcotest.test_case "persistent pool reused across maps" `Quick
+            test_persistent_pool_reuse;
+          Alcotest.test_case "steal path correct under skewed chunks" `Quick
+            test_steal_correctness_under_skew;
+          Alcotest.test_case "nested parallel_for with explicit chunks" `Quick
+            test_nested_parallel_for_chunked;
         ] );
       ( "memo-cache",
         [
@@ -254,5 +415,7 @@ let () =
             test_dual_table_parallel_matches_serial;
           Alcotest.test_case "VTC family: parallel == serial" `Quick
             test_vtc_family_parallel_matches_serial;
+          Alcotest.test_case "STA update == analyze on chunked levels" `Quick
+            test_sta_update_equals_analyze_chunked;
         ] );
     ]
