@@ -1238,6 +1238,238 @@ let verify_bench () =
   Printf.printf "  wrote BENCH_verify.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Static hazard analysis: §6 classification of a randomized design,
+   edge-window soundness against the concrete STA, and the quiet-cell
+   pruning payoff.  Writes BENCH_hazard.json.                          *)
+
+module Hazard = Proxim_hazard.Hazard
+
+let hazard_bench () =
+  let c = Lazy.force ctx in
+  section "Static hazard analysis: §6 classification and quiet-cell pruning";
+  let depth = 4 and width = if !quick then 40 else 110 in
+  let rng = Prng.create 0x6A2A12DL in
+  let design = random_layered_design rng ~tech:c.tech ~depth ~width in
+  let n_cells = List.length (Design.cells design) in
+  let factory = Sta.synthetic_factory () in
+  let models = factory.Sta.models in
+  let pi =
+    List.filter_map
+      (fun net ->
+        if Prng.int rng ~lo:0 ~hi:1 = 0 then None
+        else
+          Some
+            ( net,
+              {
+                Sta.time = Prng.float rng ~lo:0. ~hi:800e-12;
+                slew = Prng.float rng ~lo:150e-12 ~hi:600e-12;
+                edge = Measure.Fall;
+              } ))
+      (Design.primary_inputs design)
+  in
+  (* the classification showcase flips a coin per input edge — the
+     abstract analyzer orders glitches that a single concrete vector
+     cannot, so only the hazard pass sees this stimulus *)
+  let pi_mixed =
+    List.map
+      (fun (net, (a : Sta.arrival)) ->
+        ( net,
+          {
+            a with
+            Sta.edge =
+              (if Prng.int rng ~lo:0 ~hi:1 = 0 then Measure.Rise
+               else Measure.Fall);
+          } ))
+      pi
+  in
+  let time_window = 40e-12 and tau_window = 20e-12 in
+  let events = List.map (Verify.of_sta_event ~time_window ~tau_window) pi in
+  let events_mixed =
+    List.map (Verify.of_sta_event ~time_window ~tau_window) pi_mixed
+  in
+  let t0 = Unix.gettimeofday () in
+  let s = Hazard.summary (Hazard.analyze ~models ~thresholds:c.th design ~pi:events_mixed) in
+  let analyze_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+  (* the soundness and pruning halves ride the all-fall stimulus, where
+     the concrete single-vector STA is defined *)
+  let h = Hazard.analyze ~models ~thresholds:c.th design ~pi:events in
+  Printf.printf
+    "  design: %d cells, %d window-bearing, %d constrained of %d primary \
+     inputs (±%.0f ps time, ±%.0f ps tau windows), analysis %.3f ms\n"
+    n_cells s.Hazard.classified (List.length pi)
+    (List.length (Design.primary_inputs design))
+    (ps time_window) (ps tau_window) analyze_ms;
+  Printf.printf
+    "  classification: never %d / filtered %d / may-glitch %d (%d \
+     observable at endpoints)\n"
+    s.Hazard.never s.Hazard.filtered s.Hazard.may_glitch s.Hazard.observable;
+  (* soundness: randomized concrete analyses must land inside the per-edge
+     windows of every switching net *)
+  let pool = Pool.create ~domains:1 in
+  let trials = if !quick then 20 else 100 in
+  let draw_rng = Prng.create 0xD12BL in
+  let violations = ref 0 in
+  for _ = 1 to trials do
+    let concrete_pi =
+      List.map
+        (fun (net, (a : Sta.arrival)) ->
+          ( net,
+            {
+              a with
+              Sta.time =
+                Prng.float draw_rng ~lo:(a.Sta.time -. time_window)
+                  ~hi:(a.Sta.time +. time_window);
+              slew =
+                Prng.float draw_rng ~lo:(a.Sta.slew -. tau_window)
+                  ~hi:(a.Sta.slew +. tau_window);
+            } ))
+        pi
+    in
+    let report =
+      Sta.analyze ~mode:Sta.Proximity ~pool ~models ~thresholds:c.th design
+        ~pi:concrete_pi
+    in
+    List.iter
+      (fun (net, (a : Sta.arrival)) ->
+        match Hazard.net_state h ~net with
+        | None -> incr violations
+        | Some ns ->
+          let win =
+            match a.Sta.edge with
+            | Measure.Rise -> ns.Hazard.ns_rise
+            | Measure.Fall -> ns.Hazard.ns_fall
+          in
+          (match win with
+          | None -> incr violations
+          | Some w ->
+            if
+              not
+                (Interval.contains w.Hazard.w_time a.Sta.time
+                && Interval.contains w.Hazard.w_slew a.Sta.slew)
+            then incr violations))
+      report.Sta.arrivals
+  done;
+  let sound = !violations = 0 in
+  Printf.printf
+    "  soundness: %d randomized concrete analyses, %d window violations\n"
+    trials !violations;
+  (* quiet-cell pruning: bit-identity and wall-clock payoff *)
+  let mask = Hazard.quiet_mask h in
+  let quiet_cells = List.length (List.filter mask (Design.cells design)) in
+  let prune_rate =
+    if n_cells = 0 then 0. else float_of_int quiet_cells /. float_of_int n_cells
+  in
+  let run_trials prune_opt =
+    let n = if !quick then 5 else 20 in
+    let times = Array.make n 0. in
+    let ir =
+      Sta.build_ir ~mode:Sta.Proximity ?prune:prune_opt ~models
+        ~thresholds:c.th design ~pi
+    in
+    for t = 0 to n - 1 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sta.reanalyze ~pool ir);
+      times.(t) <- Unix.gettimeofday () -. t0
+    done;
+    (Stats.percentile times 50., Sta.report ir, Sta.pruned_evaluations ir)
+  in
+  let t_full, r_full, _ = run_trials None in
+  let t_pruned, r_pruned, pruned_evals = run_trials (Some mask) in
+  let identical = report_bits_eq r_full r_pruned in
+  if not identical then begin
+    (* name the diverging nets and the quiet verdicts of their drivers *)
+    let by_cell = Hashtbl.create 64 in
+    List.iter
+      (fun (cl : Design.cell) -> Hashtbl.replace by_cell cl.Design.output_net cl)
+      (Design.cells design);
+    List.iter2
+      (fun (n1, (a1 : Sta.arrival)) (_, (a2 : Sta.arrival)) ->
+        if not (arrival_bits_eq a1 a2) then begin
+          let quiet =
+            match Hashtbl.find_opt by_cell n1 with
+            | Some cl -> if mask cl then " (driver marked quiet!)" else ""
+            | None -> " (primary input)"
+          in
+          Printf.printf
+            "  DIVERGES %s%s: full %.17g/%.17g pruned %.17g/%.17g\n" n1 quiet
+            a1.Sta.time a1.Sta.slew a2.Sta.time a2.Sta.slew;
+          (match Hashtbl.find_opt by_cell n1 with
+          | Some cl when mask cl ->
+            Printf.printf "    cell %s gate %s inputs:\n" cl.Design.name
+              cl.Design.gate.Gate.name;
+            Array.iter
+              (fun net ->
+                let conc =
+                  match List.assoc_opt net pi with
+                  | Some (a : Sta.arrival) ->
+                    Printf.sprintf "event %.1f ps / %.1f ps %s"
+                      (1e12 *. a.Sta.time) (1e12 *. a.Sta.slew)
+                      (match a.Sta.edge with
+                      | Measure.Rise -> "rise"
+                      | Measure.Fall -> "fall")
+                  | None -> "quiet"
+                in
+                let wins =
+                  match Hazard.net_state h ~net with
+                  | None -> "no state"
+                  | Some ns ->
+                    let w tag = function
+                      | None -> ""
+                      | Some (aw : Hazard.awin) ->
+                        Printf.sprintf " %s[%.1f,%.1f]ps" tag
+                          (1e12 *. Interval.lo aw.Hazard.w_time)
+                          (1e12 *. Interval.hi aw.Hazard.w_time)
+                    in
+                    (w "R" ns.Hazard.ns_rise ^ w "F" ns.Hazard.ns_fall)
+                in
+                Printf.printf "      %s: %s |%s\n" net conc wins)
+              cl.Design.input_nets
+          | _ -> ())
+        end)
+      r_full.Sta.arrivals r_pruned.Sta.arrivals
+  end;
+  let speedup = if t_pruned > 0. then t_full /. t_pruned else 1. in
+  Pool.shutdown pool;
+  Printf.printf
+    "  HAZARD SUMMARY: quiet-mask rate %.1f%%, %d evaluations fast-pathed \
+     per pass, full %.3f ms vs pruned %.3f ms (%.2fx), reports %s, windows %s\n"
+    (100. *. prune_rate)
+    (pruned_evals / (if !quick then 5 else 20))
+    (1e3 *. t_full) (1e3 *. t_pruned) speedup
+    (if identical then "bit-identical" else "DIFFER")
+    (if sound then "sound" else "VIOLATED");
+  let oc = open_out "BENCH_hazard.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"section-6 hazard analysis of a random layered \
+     design, synthetic models\",\n\
+    \  \"quick\": %b,\n\
+    \  \"cells\": %d,\n\
+    \  \"classified\": %d,\n\
+    \  \"never\": %d,\n\
+    \  \"filtered\": %d,\n\
+    \  \"may_glitch\": %d,\n\
+    \  \"observable\": %d,\n\
+    \  \"analyze_ms\": %.4f,\n\
+    \  \"soundness_trials\": %d,\n\
+    \  \"soundness_violations\": %d,\n\
+    \  \"sound\": %b,\n\
+    \  \"quiet_cells\": %d,\n\
+    \  \"quiet_rate\": %.3f,\n\
+    \  \"bit_identical\": %b,\n\
+    \  \"full_median_ms\": %.4f,\n\
+    \  \"pruned_median_ms\": %.4f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"metrics\": %s\n\
+     }\n"
+    !quick n_cells s.Hazard.classified s.Hazard.never s.Hazard.filtered
+    s.Hazard.may_glitch s.Hazard.observable analyze_ms trials !violations
+    sound quiet_cells prune_rate identical (1e3 *. t_full) (1e3 *. t_pruned)
+    speedup (metrics_json ());
+  close_out oc;
+  Printf.printf "  wrote BENCH_hazard.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1257,6 +1489,7 @@ let experiments =
     ("parallel_bench", parallel_bench);
     ("incremental_bench", incremental_bench);
     ("verify_bench", verify_bench);
+    ("hazard_bench", hazard_bench);
   ]
 
 (* ablation_correction shares its output with table5_1; avoid printing it

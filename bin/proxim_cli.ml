@@ -271,23 +271,60 @@ let lint_file ~fanout_limit file =
       let options = { Netlist_lint.fanout_limit } in
       Netlist_lint.check_text ~options ~file Tech.generic_5v text
 
-let run_lint files format fail_on fanout_limit show_codes =
-  if show_codes then print_code_table ()
-  else if files = [] then begin
+let parse_code_filter s =
+  let names =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun n -> n <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: tl -> (
+      match Diagnostic.code_of_name n with
+      | Some c -> go (c :: acc) tl
+      | None -> Error (`Msg (Printf.sprintf "unknown diagnostic code %s" n)))
+  in
+  go [] names
+
+(* the --codes option of every report-emitting subcommand: absent = keep
+   all, bare = print the code table, a value = keep only those codes.
+   The filter applies BEFORE --fail-on computes the exit status, so
+   filtered-out findings can neither fail a run nor appear in it. *)
+let resolve_code_filter = function
+  | None -> Ok `All
+  | Some "" -> Ok `Table
+  | Some s -> Result.map (fun cs -> `Keep cs) (parse_code_filter s)
+
+let apply_code_filter filter diags =
+  match filter with
+  | `All | `Table -> diags
+  | `Keep cs -> Diagnostic.filter_codes cs diags
+
+let print_report format diags =
+  match format with
+  | `Text -> print_string (Diagnostic.report_text diags)
+  | `Json -> print_endline (Diagnostic.report_json_string diags)
+  | `Sarif -> print_endline (Diagnostic.report_sarif_string diags)
+
+let run_lint files format fail_on fanout_limit codes =
+  match resolve_code_filter codes with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    2
+  | Ok `Table -> print_code_table ()
+  | Ok (`All | `Keep _) when files = [] ->
     prerr_endline "proxim lint: need at least one FILE (or --codes)";
     2
-  end
-  else begin
+  | Ok filter ->
     let lint_one f =
       Obs_trace.with_span ~cat:"lint" ~args:[ ("file", f) ] "lint.file"
         (fun () -> lint_file ~fanout_limit f)
     in
-    let diags = Diagnostic.sort (List.concat_map lint_one files) in
-    (match format with
-     | `Text -> print_string (Diagnostic.report_text diags)
-     | `Json -> print_endline (Diagnostic.report_json_string diags));
+    let diags =
+      apply_code_filter filter
+        (Diagnostic.sort (List.concat_map lint_one files))
+    in
+    print_report format diags;
     Diagnostic.exit_code ~fail_on diags
-  end
 
 (* ------------------------------------------------------------------ *)
 (* sta                                                                 *)
@@ -414,7 +451,23 @@ let sta_prune_mask ~models ~thresholds design ~pi ~ecos =
     Printf.printf
       "static verification: %d of %d switching cells never-proximate\n"
       s.Verify.never s.Verify.switching_cells;
-    Some (Verify.prune_mask v)
+    (* the hazard analysis proves quiet for a complementary set of cells
+       (at most one window-bearing input, or a dominated same-edge
+       group); both masks are sound for the fast path, so take the
+       union *)
+    let h =
+      Proxim_hazard.Hazard.analyze ~mode:Sta.Proximity ~models ~thresholds
+        design ~pi:events
+    in
+    let hs = Proxim_hazard.Hazard.summary h in
+    Printf.printf "hazard analysis: %d of %d classified cells proven quiet\n"
+      (List.length
+         (List.filter
+            (fun c -> c.Proxim_hazard.Hazard.hc_quiet)
+            (Proxim_hazard.Hazard.cells h)))
+      hs.Proxim_hazard.Hazard.classified;
+    let vm = Verify.prune_mask v and hm = Proxim_hazard.Hazard.quiet_mask h in
+    Some (fun c -> vm c || hm c)
   end
 
 let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
@@ -702,19 +755,8 @@ let parse_window_spec s =
     | Some ps when ps >= 0. && net <> "" -> Ok (`Net (net, ps *. 1e-12))
     | Some _ | None -> bad ())
 
-let parse_code_filter s =
-  let names =
-    String.split_on_char ',' s |> List.map String.trim
-    |> List.filter (fun n -> n <> "")
-  in
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | n :: tl -> (
-      match Diagnostic.code_of_name n with
-      | Some c -> go (c :: acc) tl
-      | None -> Error (`Msg (Printf.sprintf "unknown diagnostic code %s" n)))
-  in
-  go [] names
+let window_net_names windows =
+  List.filter_map (function `Net (n, _) -> Some n | `Global _ -> None) windows
 
 let run_verify file pi_specs window_specs tau_window_ps mode models_kind
     format fail_on codes_filter =
@@ -732,17 +774,17 @@ let run_verify file pi_specs window_specs tau_window_ps mode models_kind
       match
         ( parse_all parse_pi_spec [] pi_specs,
           parse_all parse_window_spec [] window_specs,
-          Option.fold ~none:(Ok None)
-            ~some:(fun s -> Result.map Option.some (parse_code_filter s))
-            codes_filter )
+          resolve_code_filter codes_filter )
       with
       | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
         prerr_endline m;
         2
+      | _, _, Ok `Table -> print_code_table ()
       | Ok [], _, _ ->
         prerr_endline "proxim verify: need at least one --pi event";
         2
       | Ok pi, Ok windows, Ok codes ->
+        Verify.validate_window_nets design (window_net_names windows);
         let raw = Netlist_text.parse_raw tech text in
         let th =
           match raw.Netlist_text.raw_thresholds with
@@ -784,12 +826,7 @@ let run_verify file pi_specs window_specs tau_window_ps mode models_kind
           Verify.analyze ~mode ~models:factory.Sta.models ~thresholds:th
             design ~pi:events
         in
-        let diags =
-          let all = Verify.check ~file v in
-          match codes with
-          | None -> all
-          | Some cs -> Diagnostic.filter_codes cs all
-        in
+        let diags = apply_code_filter codes (Verify.check ~file v) in
         (match format with
          | `Text ->
            let s = Verify.summary v in
@@ -799,8 +836,122 @@ let run_verify file pi_specs window_specs tau_window_ps mode models_kind
              name s.Verify.total_cells s.Verify.switching_cells s.Verify.never
              s.Verify.always s.Verify.may;
            print_string (Diagnostic.report_text diags)
-         | `Json -> print_endline (Diagnostic.report_json_string diags));
+         | `Json | `Sarif -> print_report format diags);
         Diagnostic.exit_code ~fail_on diags))
+
+(* CLI boundary: a typo'd --pi-window net name is a usage error (exit 2),
+   not a crash *)
+let run_verify file pi_specs window_specs tau_window_ps mode models_kind
+    format fail_on codes_filter =
+  try
+    run_verify file pi_specs window_specs tau_window_ps mode models_kind
+      format fail_on codes_filter
+  with Verify.Unknown_window_net { net } ->
+    Printf.eprintf
+      "proxim verify: error: --pi-window names %s, which is not a primary \
+       input of the design\n"
+      net;
+    2
+
+(* ------------------------------------------------------------------ *)
+(* hazards                                                             *)
+
+module Hazard = Proxim_hazard.Hazard
+
+let run_hazards file pi_specs window_specs tau_window_ps mode models_kind
+    filter_margin_ps required_ps format fail_on codes_filter =
+  let tech = Tech.generic_5v in
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error m ->
+    prerr_endline m;
+    1
+  | text -> (
+    match Netlist_text.parse tech text with
+    | Error m ->
+      prerr_endline m;
+      1
+    | Ok (name, design) -> (
+      match
+        ( parse_all parse_pi_spec [] pi_specs,
+          parse_all parse_window_spec [] window_specs,
+          resolve_code_filter codes_filter )
+      with
+      | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
+        prerr_endline m;
+        2
+      | _, _, Ok `Table -> print_code_table ()
+      | Ok [], _, _ ->
+        prerr_endline "proxim hazards: need at least one --pi event";
+        2
+      | Ok pi, Ok windows, Ok codes ->
+        Verify.validate_window_nets design (window_net_names windows);
+        let raw = Netlist_text.parse_raw tech text in
+        let th =
+          match raw.Netlist_text.raw_thresholds with
+          | Some (th, _) -> th
+          | None -> (
+            match Design.cells design with
+            | c :: _ -> Vtc.thresholds c.Design.gate
+            | [] -> (
+              match Gate.of_name tech "inv" with
+              | Ok g -> Vtc.thresholds g
+              | Error m -> failwith m))
+        in
+        let global =
+          List.fold_left
+            (fun acc -> function `Global w -> w | `Net _ -> acc)
+            0. windows
+        in
+        let window_for net =
+          List.fold_left
+            (fun acc -> function
+              | `Net (n, w) when n = net -> w
+              | `Net _ | `Global _ -> acc)
+            global windows
+        in
+        let tau_window = tau_window_ps *. 1e-12 in
+        let events =
+          List.map
+            (fun (net, a) ->
+              Verify.of_sta_event ~time_window:(window_for net) ~tau_window
+                (net, a))
+            pi
+        in
+        let factory =
+          match models_kind with
+          | `Oracle -> Sta.oracle_factory design th
+          | `Synthetic -> Sta.synthetic_factory ()
+        in
+        let rule =
+          match models_kind with
+          | `Synthetic -> Hazard.model_rule
+          | `Oracle -> Hazard.inertial_rule ~thresholds:th ()
+        in
+        let h =
+          Hazard.analyze ~mode
+            ~filter_margin:(filter_margin_ps *. 1e-12)
+            ?required:(Option.map (fun r -> r *. 1e-12) required_ps)
+            ~rule ~models:factory.Sta.models ~thresholds:th design ~pi:events
+        in
+        let diags = apply_code_filter codes (Hazard.check ~file h) in
+        (match format with
+         | `Text ->
+           Printf.printf "design %s: %s" name (Hazard.report_text h);
+           print_string (Diagnostic.report_text diags)
+         | `Json | `Sarif -> print_report format diags);
+        Diagnostic.exit_code ~fail_on diags))
+
+let run_hazards file pi_specs window_specs tau_window_ps mode models_kind
+    filter_margin_ps required_ps format fail_on codes_filter =
+  try
+    run_hazards file pi_specs window_specs tau_window_ps mode models_kind
+      filter_margin_ps required_ps format fail_on codes_filter
+  with Verify.Unknown_window_net { net } ->
+    Printf.eprintf
+      "proxim hazards: error: --pi-window names %s, which is not a primary \
+       input of the design\n"
+      net;
+    2
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
@@ -944,8 +1095,10 @@ let lint_cmd =
   let format =
     Arg.(
       value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: text or json.")
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Report format: text, json or sarif (SARIF 2.1.0).")
   in
   let fail_on =
     Arg.(
@@ -967,8 +1120,14 @@ let lint_cmd =
   in
   let codes =
     Arg.(
-      value & flag
-      & info [ "codes" ] ~doc:"Print the diagnostic-code table and exit.")
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "codes" ] ~docv:"CODES"
+          ~doc:
+            "Without a value, print the diagnostic-code table and exit. \
+             With a comma-separated list (e.g. PX101,PX112), keep only \
+             those codes — the filter applies before --fail-on computes \
+             the exit status.")
   in
   Cmd.v
     (Cmd.info "lint"
@@ -1125,8 +1284,10 @@ let verify_cmd =
   let format =
     Arg.(
       value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: text or json.")
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Report format: text, json or sarif (SARIF 2.1.0).")
   in
   let fail_on =
     Arg.(
@@ -1143,12 +1304,12 @@ let verify_cmd =
   let codes =
     Arg.(
       value
-      & opt (some string) None
+      & opt ~vopt:(Some "") (some string) None
       & info [ "codes" ] ~docv:"CODES"
           ~doc:
             "Comma-separated diagnostic codes to keep (e.g. PX301,PX304); \
              everything else is dropped from the report and the exit \
-             status.")
+             status.  Without a value, print the code table and exit.")
   in
   Cmd.v
     (Cmd.info "verify"
@@ -1160,6 +1321,120 @@ let verify_cmd =
           finish_obs obs (run_verify f p w tw m mk fmt fo c))
       $ domains_setup $ obs_setup $ file $ pi $ windows $ tau_window $ mode
       $ models $ format $ fail_on $ codes)
+
+let hazards_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Netlist (.ntl) to analyze.")
+  in
+  let pi =
+    Arg.(
+      value & opt_all string []
+      & info [ "pi" ] ~docv:"EVENT"
+          ~doc:
+            "Primary-input event as net:edge:tau_ps:cross_ps (repeatable). \
+             Unlike sta/verify, edges may mix freely; two events on one \
+             net describe a pulse.")
+  in
+  let windows =
+    Arg.(
+      value & opt_all string []
+      & info [ "pi-window" ] ~docv:"PS|NET=PS"
+          ~doc:
+            "Arrival-time uncertainty window, ±PS picoseconds (repeatable): \
+             a bare value applies to every event, NET=PS overrides one net. \
+             Default ±0 (the concrete events).")
+  in
+  let tau_window =
+    Arg.(
+      value & opt float 0.
+      & info [ "tau-window" ] ~docv:"PS"
+          ~doc:"Transition-time uncertainty window, ±PS, for every event.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum [ ("classic", Sta.Classic); ("proximity", Sta.Proximity) ])
+          Sta.Proximity
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Same-edge window transfer the analysis abstracts: proximity \
+             (default) or classic.")
+  in
+  let models =
+    Arg.(
+      value
+      & opt (enum [ ("oracle", `Oracle); ("synthetic", `Synthetic) ])
+          `Synthetic
+      & info [ "models" ] ~docv:"KIND"
+          ~doc:
+            "Cell models and section-6 rule: synthetic (analytic stand-ins \
+             with the macromodel surrogate rule, default) or oracle \
+             (golden-simulator models with bisected inertial minimum \
+             separations).")
+  in
+  let filter_margin =
+    Arg.(
+      value & opt float 25.
+      & info [ "filter-margin" ] ~docv:"PS"
+          ~doc:
+            "PX403 band, picoseconds: filtered pairs clearing the minimum \
+             separation by less than this are reported as near misses.")
+  in
+  let required =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "required" ] ~docv:"PS"
+          ~doc:
+            "Primary-output required time for the observability pass; \
+             defaults to the latest arrival bound in the design (every \
+             reachable glitch observable).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Report format: text, json or sarif (SARIF 2.1.0).")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("warning", Diagnostic.Warning); ("error", Diagnostic.Error) ])
+          Diagnostic.Warning
+      & info [ "fail-on" ] ~docv:"SEV"
+          ~doc:
+            "Lowest severity that makes the exit status nonzero: warning \
+             (default) or error.")
+  in
+  let codes =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "codes" ] ~docv:"CODES"
+          ~doc:
+            "Comma-separated diagnostic codes to keep (e.g. PX401,PX402); \
+             everything else is dropped from the report and the exit \
+             status.  Without a value, print the code table and exit.")
+  in
+  Cmd.v
+    (Cmd.info "hazards"
+       ~doc:
+         "Static glitch/hazard analysis: edge-pair windows against the \
+          section-6 minimum-separation rule, required-time observability, \
+          PX4xx diagnostics")
+    Term.(
+      const (fun () obs f p w tw m mk fm r fmt fo c ->
+          finish_obs obs (run_hazards f p w tw m mk fm r fmt fo c))
+      $ domains_setup $ obs_setup $ file $ pi $ windows $ tau_window $ mode
+      $ models $ filter_margin $ required $ format $ fail_on $ codes)
 
 let profile_cmd =
   let file =
@@ -1214,6 +1489,6 @@ let () =
   let main =
     Cmd.group (Cmd.info "proxim" ~version:"1.0.0" ~doc)
       [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; sta_cmd; verify_cmd;
-        profile_cmd; storage_cmd; lint_cmd ]
+        hazards_cmd; profile_cmd; storage_cmd; lint_cmd ]
   in
   exit (Cmd.eval' main)

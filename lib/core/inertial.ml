@@ -6,6 +6,27 @@ module Rootfind = Proxim_util.Rootfind
 
 type glitch = { v_extreme : float; t_extreme : float; full_swing : bool }
 
+(* Boolean resting level of the output before either input moves: the
+   fall pin still high, the rise pin still low, every other pin at its
+   non-controlling level.  The gate is a monotone series/parallel
+   pull-down, so one 2-valued evaluation decides the glitch polarity:
+   resting high (NAND-like) means a negative-going glitch measured
+   against Vil; resting low (NOR-like) a positive-going one against
+   Vih. *)
+let rests_high gate th ~fall_pin ~rise_pin =
+  let base = Gate.noncontrolling_sensitization gate ~pin:fall_pin in
+  let level p =
+    if p = fall_pin then true
+    else if p = rise_pin then false
+    else base.(p) > th.Vtc.vdd /. 2.
+  in
+  let rec conducts = function
+    | Gate.Pin p -> level p
+    | Gate.Series l -> List.for_all conducts l
+    | Gate.Parallel l -> List.exists conducts l
+  in
+  not (conducts gate.Gate.pulldown)
+
 let glitch ?opts ?load gate th ~fall_pin ~rise_pin ~tau_fall ~tau_rise ~sep =
   if fall_pin = rise_pin then invalid_arg "Inertial.glitch: same pin";
   let margin = 0.3e-9 in
@@ -24,21 +45,34 @@ let glitch ?opts ?load gate th ~fall_pin ~rise_pin ~tau_fall ~tau_rise ~sep =
   in
   let run = Measure.simulate ?opts ?load gate ~inputs in
   let out = run.Measure.out_wave in
-  let t_extreme, v_extreme =
-    Pwl.extremum out ~lo:(Pwl.start_time out) ~hi:(Pwl.end_time out)
-  in
-  { v_extreme; t_extreme; full_swing = v_extreme <= th.Vtc.vil }
+  let lo = Pwl.start_time out and hi = Pwl.end_time out in
+  if rests_high gate th ~fall_pin ~rise_pin then begin
+    let t_extreme, v_extreme = Pwl.extremum out ~lo ~hi in
+    { v_extreme; t_extreme; full_swing = v_extreme <= th.Vtc.vil }
+  end
+  else begin
+    let t_extreme, v_extreme = Pwl.maximum out ~lo ~hi in
+    { v_extreme; t_extreme; full_swing = v_extreme >= th.Vtc.vih }
+  end
 
-let minimum_valid_separation ?opts ?load ?(search = (-3e-9, 1e-9)) gate th
+let minimum_valid_separation ?opts ?load ?search gate th
     ~fall_pin ~rise_pin ~tau_fall ~tau_rise =
+  let high = rests_high gate th ~fall_pin ~rise_pin in
+  let search =
+    match search with
+    | Some s -> s
+    | None -> if high then (-3e-9, 1e-9) else (-1e-9, 3e-9)
+  in
   let f sep =
     let g = glitch ?opts ?load gate th ~fall_pin ~rise_pin ~tau_fall ~tau_rise ~sep in
-    g.v_extreme -. th.Vtc.vil
+    (* signed glitch-magnitude shortfall: negative once the extreme has
+       passed the measurement threshold (the transition completed) *)
+    if high then g.v_extreme -. th.Vtc.vil else th.Vtc.vih -. g.v_extreme
   in
   let lo, hi = search in
   match Rootfind.bisect ~tol:1e-13 ~f lo hi with
   | root -> root
   | exception Rootfind.No_bracket ->
     failwith
-      "Inertial.minimum_valid_separation: glitch never crosses Vil in the \
-       search window"
+      "Inertial.minimum_valid_separation: glitch never crosses the \
+       measurement threshold in the search window"

@@ -1,0 +1,224 @@
+(** Whole-design static glitch/hazard analysis via the paper's §6
+    minimum-separation rule.
+
+    The §6 experiment shows inertial delay is a proximity phenomenon:
+    a falling+rising input pair produces an output glitch that completes
+    a transition only when the pair's oriented separation reaches the
+    gate's minimum separation.  This module lifts that rule to a
+    dataflow analysis over the timing-graph IR:
+
+    {b Forward pass.}  Every net carries {e edge-pair windows} — an
+    optional rise window and an optional fall window, each an arrival /
+    slew interval box ({!Proxim_verify.Interval}) — plus a three-valued
+    initial/final logic value.  Same-edge input groups propagate through
+    {!Proxim_verify.Verify.abstract_response} (the PR-4 interval
+    transfer, exact on degenerate windows); opposing-edge pairs are
+    tested against a §6 minimum-separation {!rule}, classifying each
+    window-bearing cell {!Never} / {!Filtered} / {!May_glitch}.  A
+    filtered static hazard with definite boolean levels {e kills} the
+    output windows — the §6 filter proving quiet nets downstream.
+
+    {b Backward pass.}  Required times propagate from the primary
+    outputs against lower-bound single-input delays, so each may-glitch
+    cell gets an interval slack: can the glitch reach an endpoint inside
+    its observability window ({!Graph.fanout_cone} reconstructs the
+    cone)?
+
+    {b Semantic model} (documented approximations): quiet inputs sit at
+    the consuming gate's non-controlling level (the characterization
+    convention shared with [Sta]/[Verify]); a mixed-edge cell is
+    decomposed into independent same-edge groups plus the §6 pairwise
+    opposing rule; filtered excursions are timing-neutral (§6 models
+    completion, not the residual perturbation).  Gates are monotone
+    series/parallel networks, so same-edge groups alone never glitch. *)
+
+module Interval = Proxim_verify.Interval
+
+type awin = {
+  w_time : Interval.t;  (** threshold-crossing window, s *)
+  w_slew : Interval.t;  (** full-swing transition-time window, s *)
+}
+(** One edge's arrival window on a net. *)
+
+type logic = L0 | L1 | LX
+
+type net_state = {
+  ns_rise : awin option;
+  ns_fall : awin option;
+  ns_init : logic;  (** boolean level before any event *)
+  ns_final : logic;  (** boolean level after all events settle *)
+}
+
+type verdict = Never | Filtered | May_glitch
+(** The §6 lattice for a window-bearing cell:
+    - [Never]: no opposing-edge input pair can form, so no glitch
+      stimulus exists;
+    - [Filtered]: opposing pairs exist but every one provably misses the
+      minimum separation — the inertial filter absorbs the glitch;
+    - [May_glitch]: some pair may reach it. *)
+
+val verdict_name : verdict -> string
+(** ["never"] / ["filtered"] / ["may-glitch"]. *)
+
+type pair = {
+  hp_fall_pin : int;
+  hp_rise_pin : int;
+  hp_starter_edge : Proxim_measure.Measure.edge;
+      (** edge of the input that starts the excursion in the governing
+          orientation (Rise for a rest-high output, Fall for rest-low) *)
+  hp_sep : Interval.t;
+      (** oriented separation [t_ender - t_starter], s *)
+  hp_min_sep : Interval.t;  (** §6 minimum-separation bounds, s *)
+  hp_filtered : bool;  (** [hi hp_sep < lo hp_min_sep] *)
+  hp_margin : float;
+      (** [lo hp_min_sep - hi hp_sep]: how far the worst case clears the
+          filter (positive iff filtered) — the PX403 band test *)
+}
+(** One opposing-edge input pair of a cell (the same pin appears on both
+    sides when a single input net carries a pulse).  When the output
+    resting level is unknown both orientations are evaluated and the
+    least-filtered one is kept. *)
+
+type cell_report = {
+  hc_name : string;
+  hc_gate : string;
+  hc_verdict : verdict;
+  hc_pairs : pair list;
+  hc_out_rise : awin option;  (** output windows after §6 refinement *)
+  hc_out_fall : awin option;
+  hc_glitch : Interval.t option;
+      (** excursion-time window of the possible glitch ([May_glitch]
+          only) *)
+  hc_reaches : string list;
+      (** primary outputs in the cell's fanout cone *)
+  hc_slack : Interval.t option;
+      (** required-time slack of the glitch at the cell output:
+          [required - glitch time] ([May_glitch] with a reachable
+          endpoint only) *)
+  hc_observable : bool;
+      (** the glitch can reach an endpoint within its observability
+          window ([hi slack >= 0]) — the PX402 trigger *)
+  hc_quiet : bool;
+      (** sound for {!quiet_mask}: every admissible concrete run gives
+          this cell at most one switching input, or a same-edge group
+          with a provably dominant input *)
+}
+
+type t
+(** A completed hazard analysis. *)
+
+(** {1 The §6 rule} *)
+
+type rule =
+  Proxim_sta.Design.cell ->
+  Proxim_macromodel.Models.t ->
+  starter_pin:int ->
+  starter_edge:Proxim_measure.Measure.edge ->
+  ender_pin:int ->
+  tau_starter:float * float ->
+  tau_ender:float * float ->
+  float * float
+(** Bounds on the minimum oriented separation [sigma_min]: the glitch
+    started by [starter_pin] and recovered by [ender_pin] completes a
+    transition exactly when [t_ender - t_starter >= sigma_min].  Both
+    tau axes are interval boxes; the result must be conservative over
+    them. *)
+
+val model_rule : rule
+(** The macromodel surrogate:
+    {!Proxim_macromodel.Models.min_separation_bounds} (single-input
+    delay/transition composition with spread widening).  The default —
+    microsecond-cheap, defined for every model kind, and exact in shape
+    for the synthetic models the randomized suites use. *)
+
+val inertial_rule :
+  ?opts:Proxim_spice.Options.t ->
+  ?load:float ->
+  thresholds:Proxim_vtc.Vtc.thresholds ->
+  unit ->
+  rule
+(** The golden-simulator rule: bisect
+    {!Proxim_core.Inertial.minimum_valid_separation} at the corners of
+    the tau box and widen the observed spread (the
+    [Models.delay1_bounds] sampling idiom).  Bisections are memoized per
+    (gate, pins, taus).  Orientations that disagree with the gate's
+    physical resting polarity, and same-pin pulse pairs (which the
+    two-pin simulation cannot drive), fall back conservatively — the
+    former never complete, the latter use {!model_rule}.  When the
+    bisection cannot bracket, a probe at the favorable end of the search
+    window decides between never-completes and always-completes. *)
+
+(** {1 Analysis} *)
+
+val analyze :
+  ?mode:Proxim_sta.Sta.mode ->
+  ?filter_margin:float ->
+  ?required:float ->
+  ?rule:rule ->
+  models:(Proxim_sta.Design.cell -> Proxim_macromodel.Models.t) ->
+  thresholds:Proxim_vtc.Vtc.thresholds ->
+  Proxim_sta.Design.t ->
+  pi:Proxim_verify.Verify.pi_event list ->
+  t
+(** Forward edge-pair-window pass + backward required-time pass.
+
+    [pi] events may mix edges freely (unlike [Sta]/[Verify]); two events
+    on one net give it both windows (a pulse).  Events on unknown nets
+    are inert; events on cell-driven nets raise [Invalid_argument], as
+    does [Collapsed] mode.  [mode] (default [Proximity]) selects the
+    same-edge group transfer.  [filter_margin] (default 25 ps) is the
+    PX403 band: filtered pairs clearing the threshold by less are
+    reported.  [required] is the primary-output required time for the
+    backward pass; it defaults to the latest upper arrival bound in the
+    design (every reachable glitch observable).  [rule] defaults to
+    {!model_rule}. *)
+
+val design : t -> Proxim_sta.Design.t
+
+val cell_report : t -> cell:string -> cell_report option
+(** [None] for unknown or windowless cells. *)
+
+val cells : t -> cell_report list
+(** Every window-bearing cell's report, topological order. *)
+
+val net_state : t -> net:string -> net_state option
+
+val unconstrained_pis : t -> string list
+(** Primary inputs carrying no event whose fanout cone contains a
+    window-bearing multi-input cell — the PX404 trigger (an event there
+    could create an opposing pair this analysis has not seen). *)
+
+val required : t -> float
+(** The endpoint required time the backward pass used. *)
+
+type summary = {
+  total_cells : int;
+  classified : int;  (** window-bearing cells *)
+  never : int;
+  filtered : int;
+  may_glitch : int;
+  observable : int;  (** may-glitch cells whose glitch reaches a PO *)
+}
+
+val summary : t -> summary
+
+(** {1 Consumers} *)
+
+val quiet_mask : t -> Proxim_sta.Design.cell -> bool
+(** A prune mask for {!Proxim_sta.Sta.build_ir}'s [?prune], in the mold
+    of [Verify.prune_mask]: [true] for cells that in {e every}
+    admissible concrete run (primary-input events inside the analyzed
+    windows) have at most one switching input, or a same-edge input
+    group with a provably dominant input — exactly the cases where the
+    pruned fast path reproduces the full fold bit-for-bit. *)
+
+val check : ?file:string -> t -> Proxim_lint.Diagnostic.t list
+(** The PX4xx findings, sorted: [PX401] per may-glitch cell (its
+    governing pair's separation vs the minimum), [PX402] per observable
+    may-glitch cell (ranked by slack in the message), [PX403] per
+    filtered pair inside the widening band, [PX404] per sensitive quiet
+    primary input. *)
+
+val report_text : t -> string
+(** Human summary: verdict counts, then may-glitch cells ranked by
+    endpoint slack. *)

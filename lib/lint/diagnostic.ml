@@ -45,6 +45,11 @@ type code =
   | PX302
   | PX303
   | PX304
+  (* PX4xx: static hazard analysis (§6 minimum separation) *)
+  | PX401
+  | PX402
+  | PX403
+  | PX404
 
 let all_codes =
   [
@@ -53,6 +58,7 @@ let all_codes =
     PX110; PX111; PX112; PX113;
     PX201; PX202; PX203; PX204; PX205; PX206; PX207; PX208;
     PX301; PX302; PX303; PX304;
+    PX401; PX402; PX403; PX404;
   ]
 
 let code_name = function
@@ -85,6 +91,10 @@ let code_name = function
   | PX302 -> "PX302"
   | PX303 -> "PX303"
   | PX304 -> "PX304"
+  | PX401 -> "PX401"
+  | PX402 -> "PX402"
+  | PX403 -> "PX403"
+  | PX404 -> "PX404"
 
 let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes
 
@@ -99,6 +109,8 @@ let default_severity = function
   | PX208 -> Info
   | PX303 -> Error
   | PX301 | PX302 | PX304 -> Warning
+  | PX401 | PX402 | PX404 -> Warning
+  | PX403 -> Info
 
 let code_doc = function
   | PX001 ->
@@ -146,6 +158,18 @@ let code_doc = function
   | PX304 ->
     "unconstrained primary input feeds a proximity-sensitive cone: the \
      analysis assumes it is quiet"
+  | PX401 ->
+    "static hazard possible: an opposing-edge input pair can beat the §6 \
+     minimum-separation filter, so the cell output may glitch"
+  | PX402 ->
+    "a possible glitch reaches a primary output within its observability \
+     window (nonnegative required-time slack along the fanout cone)"
+  | PX403 ->
+    "filtered hazard within the widening band: the worst-case separation \
+     clears the §6 filter threshold by less than the margin"
+  | PX404 ->
+    "unconstrained primary input feeds a glitch-capable cone: an event on \
+     it could create an opposing-edge pair the analysis has not seen"
 
 type location = {
   file : string option;
@@ -327,3 +351,112 @@ let report_json diags =
     ]
 
 let report_json_string diags = Json.to_string (report_json diags)
+
+(* --- SARIF 2.1.0 reporter --------------------------------------------- *)
+
+(* Static Analysis Results Interchange Format, the schema GitHub code
+   scanning ingests.  One run, one tool ("proxim"), one rule per distinct
+   code present in the report (ruleIndex points into that array), one
+   result per diagnostic.  Severities map onto SARIF levels: Error ->
+   "error", Warning -> "warning", Info -> "note". *)
+
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let sarif_version = "2.1.0"
+let sarif_schema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let report_sarif ?(tool_version = "1.0.0") diags =
+  let diags = sort diags in
+  let rule_codes =
+    List.filter (fun c -> List.exists (fun d -> d.code = c) diags) all_codes
+  in
+  let rule_index c =
+    let rec go i = function
+      | [] -> assert false (* every result's code is in [rule_codes] *)
+      | c' :: tl -> if c = c' then i else go (i + 1) tl
+    in
+    go 0 rule_codes
+  in
+  let rules =
+    List.map
+      (fun c ->
+        Json.Obj
+          [
+            ("id", Json.String (code_name c));
+            ( "shortDescription",
+              Json.Obj [ ("text", Json.String (code_doc c)) ] );
+            ( "defaultConfiguration",
+              Json.Obj
+                [ ("level", Json.String (sarif_level (default_severity c))) ]
+            );
+          ])
+      rule_codes
+  in
+  let result d =
+    let message =
+      match d.location.context with
+      | Some ctx -> d.message ^ " [" ^ ctx ^ "]"
+      | None -> d.message
+    in
+    let location =
+      match d.location.file with
+      | None -> []
+      | Some f ->
+        let region =
+          (match d.location.line with
+           | Some l -> [ ("startLine", Json.Number (float_of_int l)) ]
+           | None -> [])
+          @
+          match d.location.col with
+          | Some c -> [ ("startColumn", Json.Number (float_of_int c)) ]
+          | None -> []
+        in
+        let physical =
+          ("artifactLocation", Json.Obj [ ("uri", Json.String f) ])
+          :: (if region = [] then [] else [ ("region", Json.Obj region) ])
+        in
+        [
+          ( "locations",
+            Json.List
+              [ Json.Obj [ ("physicalLocation", Json.Obj physical) ] ] );
+        ]
+    in
+    Json.Obj
+      ([
+         ("ruleId", Json.String (code_name d.code));
+         ("ruleIndex", Json.Number (float_of_int (rule_index d.code)));
+         ("level", Json.String (sarif_level d.severity));
+         ("message", Json.Obj [ ("text", Json.String message) ]);
+       ]
+      @ location)
+  in
+  Json.Obj
+    [
+      ("$schema", Json.String sarif_schema);
+      ("version", Json.String sarif_version);
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String "proxim");
+                            ("version", Json.String tool_version);
+                            ("rules", Json.List rules);
+                          ] );
+                    ] );
+                ("results", Json.List (List.map result diags));
+              ];
+          ] );
+    ]
+
+let report_sarif_string ?tool_version diags =
+  Json.to_string (report_sarif ?tool_version diags)

@@ -19,7 +19,11 @@
     - [PX3xx] — static proximity-verification findings produced by the
       interval abstract interpretation ([Proxim_verify]): dominance
       crossover straddles, table-coverage escapes, negative-delay bounds,
-      unconstrained inputs in proximity-sensitive cones. *)
+      unconstrained inputs in proximity-sensitive cones;
+    - [PX4xx] — static hazard-analysis findings produced by the §6
+      minimum-separation dataflow ([Proxim_hazard]): may-glitch cells,
+      endpoint-observable glitches, near-threshold filtered pairs,
+      unconstrained inputs in glitch-capable cones. *)
 
 type severity = Info | Warning | Error
 (** Ordered: [Info < Warning < Error] (the polymorphic compare order). *)
@@ -61,6 +65,10 @@ type code =
   | PX302  (** reachable intervals exceed characterized table coverage *)
   | PX303  (** interval lower bound gives a negative pin-to-output delay *)
   | PX304  (** unconstrained primary input in a proximity-sensitive cone *)
+  | PX401  (** static hazard possible (§6 separation may beat the filter) *)
+  | PX402  (** possible glitch reaches a primary output in its window *)
+  | PX403  (** filtered hazard within the widening band of the threshold *)
+  | PX404  (** unconstrained primary input in a glitch-capable cone *)
 
 val all_codes : code list
 (** Every code, ascending. *)
@@ -139,3 +147,14 @@ val report_json : t list -> Json.t
 (** [{"diagnostics": [...], "summary": {"errors": ..., ...}}]. *)
 
 val report_json_string : t list -> string
+
+val report_sarif : ?tool_version:string -> t list -> Json.t
+(** SARIF 2.1.0 report (the format GitHub code scanning ingests): one
+    run by the "proxim" driver, a [rules] array holding every distinct
+    code present (id, {!code_doc} short description, default level), and
+    one [result] per diagnostic ([ruleId]/[ruleIndex]/[level]/[message],
+    plus a [physicalLocation] when the diagnostic carries a file;
+    contexts are folded into the message text).  Severities map to SARIF
+    levels error/warning/note.  [tool_version] defaults to ["1.0.0"]. *)
+
+val report_sarif_string : ?tool_version:string -> t list -> string

@@ -279,3 +279,44 @@ let delay2_bounds t ~dom ~other ~edge ~tau_dom ~tau_other ~sep =
 
 let trans2_bounds t ~dom ~other ~edge ~tau_dom ~tau_other ~sep =
   bounds2 t.trans2 ~dom ~other ~edge ~tau_dom ~tau_other ~sep
+
+(* --- §6 minimum-separation surrogate ----------------------------------- *)
+
+(* The opposing-edge glitch of paper §6, phrased through the single-input
+   oracles.  The starter input's transition begins the output excursion
+   after its single-input delay; the ender's transition recovers it after
+   its own.  The excursion reaches the measurement threshold only when the
+   window between the two responses covers a fraction of the starter's
+   output transition time:
+
+     (t_ender + D_ender) - (t_starter + D_starter) >= kappa * T_starter
+
+   so the oriented separation sigma = t_ender - t_starter must reach
+
+     sigma_min = D_starter - D_ender + kappa * T_starter.
+
+   kappa is the threshold fraction of the full output swing the glitch
+   must cross; with the measurement thresholds near 25%/75% of Vdd about
+   half the starter's transition is needed, so kappa = 0.5.  This is a
+   calibrated surrogate, not a simulation: its role is to give synthetic
+   models a §6 rule with the right shape and monotonicity.  The interval
+   evaluation composes the sampled single-input bounds and applies the
+   same spread widening as every other bound here. *)
+
+let kappa_min_sep = 0.5
+
+let min_separation_bounds t ~starter_pin ~starter_edge ~ender_pin
+    ~tau_starter ~tau_ender =
+  let ender_edge = Proxim_measure.Measure.opposite starter_edge in
+  let ds_lo, ds_hi =
+    delay1_bounds t ~pin:starter_pin ~edge:starter_edge ~tau:tau_starter
+  in
+  let de_lo, de_hi =
+    delay1_bounds t ~pin:ender_pin ~edge:ender_edge ~tau:tau_ender
+  in
+  let ts_lo, ts_hi =
+    trans1_bounds t ~pin:starter_pin ~edge:starter_edge ~tau:tau_starter
+  in
+  widen
+    ( ds_lo -. de_hi +. (kappa_min_sep *. ts_lo),
+      ds_hi -. de_lo +. (kappa_min_sep *. ts_hi) )

@@ -162,3 +162,23 @@ val trans2_bounds :
   tau_other:float * float ->
   sep:float * float ->
   float * float
+
+val min_separation_bounds :
+  t ->
+  starter_pin:int ->
+  starter_edge:Proxim_measure.Measure.edge ->
+  ender_pin:int ->
+  tau_starter:float * float ->
+  tau_ender:float * float ->
+  float * float
+(** Conservative bounds on the §6 minimum oriented separation
+    [sigma_min]: the glitch started by [starter_pin] (switching with
+    [starter_edge]) and recovered by [ender_pin] (the opposite edge)
+    completes an output transition exactly when
+    [t_ender - t_starter >= sigma_min].  Evaluated as a surrogate from
+    the single-input delay/transition bounds
+    ([D_starter - D_ender + kappa * T_starter], [kappa = 0.5]) with the
+    standard spread widening — the calibration source for the hazard
+    analyzer's model-backed rule ([Proxim_hazard]); simulator-backed
+    rules bisect {!Proxim_core.Inertial.minimum_valid_separation}
+    instead. *)

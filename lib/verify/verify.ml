@@ -24,6 +24,28 @@ type pi_event = {
 
 let tiny_slew = 1e-15
 
+exception Unknown_window_net of { net : string }
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_window_net { net } ->
+      Some
+        (Printf.sprintf
+           "Verify.Unknown_window_net: --pi-window names %S, which is not a \
+            primary input of the design" net)
+    | _ -> None)
+
+let validate_window_nets design nets =
+  let g = Design.graph design in
+  let is_pi net =
+    match Graph.net_id g net with
+    | None -> false
+    | Some id -> Graph.driver g ~net:id = None
+  in
+  List.iter
+    (fun net -> if not (is_pi net) then raise (Unknown_window_net { net }))
+    nets
+
 let of_sta_event ?(time_window = 0.) ?(tau_window = 0.) (net, (a : Sta.arrival))
     =
   if time_window < 0. || tau_window < 0. then
@@ -415,6 +437,18 @@ let proximity_out (m : Models.t) ~slew_scale ~edge inputs =
           a_edge = Measure.opposite edge;
         }
     end
+
+(* Sound abstract image of one cell response to a same-edge input group,
+   shared with the hazard analyzer (Proxim_hazard), whose mixed-edge
+   dataflow decomposes each cell into same-edge groups plus the §6
+   opposing-pair rule.  Inputs are (pin, abstract arrival) pairs. *)
+let abstract_response ~mode (m : Models.t) ~slew_scale ~edge inputs =
+  if inputs = [] then invalid_arg "Verify.abstract_response: no inputs";
+  let inputs = List.map (ainput_of m ~edge) inputs in
+  match mode with
+  | Sta.Classic -> classic_out ~slew_scale ~edge inputs
+  | Sta.Proximity | Sta.Collapsed _ ->
+    proximity_out m ~slew_scale ~edge inputs
 
 (* --- the analysis ------------------------------------------------------- *)
 

@@ -50,6 +50,16 @@ val of_sta_event :
     slew interval is floored at a tiny positive value).  Raises
     [Invalid_argument] on a negative window. *)
 
+exception Unknown_window_net of { net : string }
+(** A window spec ([--pi-window NET=PS]) named something that is not a
+    primary-input net of the design — a user typo the CLI maps to exit
+    status 2.  A printer is registered. *)
+
+val validate_window_nets : Proxim_sta.Design.t -> string list -> unit
+(** Raise {!Unknown_window_net} on the first name that is not a
+    primary-input net (unknown entirely, or driven by a cell).  Shared
+    by the [proxim verify] and [proxim hazards] CLI window parsing. *)
+
 (** {1 Results} *)
 
 type aarrival = {
@@ -165,6 +175,22 @@ val prune_mask : t -> Proxim_sta.Design.cell -> bool
     [Proximity]-mode verification (constant [false] for other modes).
     Only valid while every primary-input event stays inside the windows
     {!analyze} was run with. *)
+
+val abstract_response :
+  mode:Proxim_sta.Sta.mode ->
+  Proxim_macromodel.Models.t ->
+  slew_scale:float ->
+  edge:Proxim_measure.Measure.edge ->
+  (int * aarrival) list ->
+  aarrival
+(** Sound abstract image of one cell's response to a same-edge group of
+    switching inputs ([(pin, arrival)] pairs): the latest single-input
+    response bound in [Classic] mode, the §3-§4 fold bound in
+    [Proximity] mode (exact — the concrete algorithm — on degenerate
+    inputs).  This is the transfer function {!analyze} applies per cell,
+    exported for the hazard analyzer ([Proxim_hazard]), whose mixed-edge
+    dataflow decomposes each cell into same-edge groups.  Raises
+    [Invalid_argument] on an empty group. *)
 
 val check : ?file:string -> t -> Proxim_lint.Diagnostic.t list
 (** Render the verification findings as sorted PX3xx diagnostics:

@@ -421,6 +421,128 @@ let test_json_report_valid () =
     in
     Alcotest.(check (option (float 0.))) "summary counts" (Some 1.) errors
 
+(* --- SARIF reporter ----------------------------------------------------- *)
+
+(* round-trip the SARIF report through the in-repo JSON parser: schema
+   header, one rule per distinct code, ruleIndex consistency, severity ->
+   level mapping, context folded into the message, physical locations *)
+let test_sarif_report_roundtrip () =
+  let diags =
+    [
+      Diagnostic.make ~file:"a.ntl" ~line:3 ~col:2 ~context:"n1" PX105
+        "net %s is undriven" "n1";
+      Diagnostic.make ~file:"a.ntl" ~line:9 PX110 "unused output";
+      Diagnostic.make PX403 "near-miss hazard";
+    ]
+  in
+  let s = Diagnostic.report_sarif_string ~tool_version:"9.9.9" diags in
+  match Json.of_string s with
+  | Error m -> Alcotest.fail ("SARIF report is not valid JSON: " ^ m)
+  | Ok j ->
+    Alcotest.(check (option string))
+      "version" (Some "2.1.0")
+      (Option.bind (Json.member "version" j) Json.to_string_value);
+    Alcotest.(check (option string))
+      "$schema" (Some "https://json.schemastore.org/sarif-2.1.0.json")
+      (Option.bind (Json.member "$schema" j) Json.to_string_value);
+    let run =
+      match Option.bind (Json.member "runs" j) Json.to_list with
+      | Some [ r ] -> r
+      | _ -> Alcotest.fail "expected exactly one run"
+    in
+    let driver =
+      Option.bind (Json.member "tool" run) (Json.member "driver")
+    in
+    Alcotest.(check (option string))
+      "tool version" (Some "9.9.9")
+      (Option.bind driver (fun d ->
+           Option.bind (Json.member "version" d) Json.to_string_value));
+    let rules =
+      Option.bind driver (fun d ->
+          Option.bind (Json.member "rules" d) Json.to_list)
+      |> Option.value ~default:[]
+    in
+    let rule_ids =
+      List.filter_map
+        (fun r -> Option.bind (Json.member "id" r) Json.to_string_value)
+        rules
+    in
+    Alcotest.(check (list string))
+      "one rule per distinct code, table order"
+      [ "PX105"; "PX110"; "PX403" ] rule_ids;
+    let rule_levels =
+      List.filter_map
+        (fun r ->
+          Option.bind (Json.member "defaultConfiguration" r) (fun c ->
+              Option.bind (Json.member "level" c) Json.to_string_value))
+        rules
+    in
+    Alcotest.(check (list string))
+      "rule default levels" [ "error"; "warning"; "note" ] rule_levels;
+    let results =
+      Option.bind (Json.member "results" run) Json.to_list
+      |> Option.value ~default:[]
+    in
+    Alcotest.(check int) "one result per diagnostic" 3 (List.length results);
+    List.iter
+      (fun r ->
+        let rid =
+          Option.bind (Json.member "ruleId" r) Json.to_string_value
+        in
+        let idx = Option.bind (Json.member "ruleIndex" r) Json.to_number in
+        match (rid, idx) with
+        | Some id, Some i ->
+          Alcotest.(check (option string))
+            "ruleIndex points at its rule" (Some id)
+            (List.nth_opt rule_ids (int_of_float i))
+        | _ -> Alcotest.fail "result missing ruleId or ruleIndex")
+      results;
+    let result_for code =
+      match
+        List.find_opt
+          (fun r ->
+            Option.bind (Json.member "ruleId" r) Json.to_string_value
+            = Some code)
+          results
+      with
+      | Some r -> r
+      | None -> Alcotest.fail ("no result for " ^ code)
+    in
+    let message r =
+      Option.bind (Json.member "message" r) (fun m ->
+          Option.bind (Json.member "text" m) Json.to_string_value)
+    in
+    Alcotest.(check (option string))
+      "context folded into the message"
+      (Some "net n1 is undriven [n1]")
+      (message (result_for "PX105"));
+    Alcotest.(check (option string))
+      "severity -> level" (Some "note")
+      (Option.bind (Json.member "level" (result_for "PX403"))
+         Json.to_string_value);
+    let location r =
+      match Option.bind (Json.member "locations" r) Json.to_list with
+      | Some (o :: _) -> Json.member "physicalLocation" o
+      | _ -> None
+    in
+    (match location (result_for "PX105") with
+    | None -> Alcotest.fail "PX105 carries no physical location"
+    | Some phys ->
+      Alcotest.(check (option string))
+        "artifact uri" (Some "a.ntl")
+        (Option.bind (Json.member "artifactLocation" phys) (fun a ->
+             Option.bind (Json.member "uri" a) Json.to_string_value));
+      Alcotest.(check (option (float 0.)))
+        "startLine" (Some 3.)
+        (Option.bind (Json.member "region" phys) (fun rg ->
+             Option.bind (Json.member "startLine" rg) Json.to_number));
+      Alcotest.(check (option (float 0.)))
+        "startColumn" (Some 2.)
+        (Option.bind (Json.member "region" phys) (fun rg ->
+             Option.bind (Json.member "startColumn" rg) Json.to_number)));
+    Alcotest.(check bool) "bare diagnostic has no location" true
+      (location (result_for "PX403") = None)
+
 let () =
   Alcotest.run "lint"
     [
@@ -484,5 +606,7 @@ let () =
           Alcotest.test_case "diagnostic round-trip" `Quick
             test_json_roundtrip_diag;
           Alcotest.test_case "report valid" `Quick test_json_report_valid;
+          Alcotest.test_case "sarif roundtrip" `Quick
+            test_sarif_report_roundtrip;
         ] );
     ]

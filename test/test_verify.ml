@@ -111,6 +111,61 @@ let test_interval_containment_qcheck () =
   done;
   Alcotest.(check pass) "containment holds" () ()
 
+(* the corners the analyses lean on: inversion domain, zero-hulling of
+   optional prefix terms, degenerate max ties, NaN rejection *)
+let test_interval_edge_cases () =
+  let rejects f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  (* inv is only defined for strictly positive intervals *)
+  Alcotest.(check (pair (float 1e-12) (float 1e-12)))
+    "inv" (0.25, 0.5)
+    (Interval.pair (Interval.inv (Interval.make 2. 4.)));
+  List.iter
+    (fun (lo, hi) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "inv rejects [%g, %g]" lo hi)
+        true
+        (rejects (fun () -> Interval.inv (Interval.make lo hi))))
+    [ (-1., 1.); (0., 1.); (-2., -1.) ];
+  (* hull0 keeps the zero endpoint whichever side the interval sits on *)
+  Alcotest.(check (pair (float 0.) (float 0.)))
+    "hull0 negative" (-3., 0.)
+    (Interval.pair (Interval.hull0 (Interval.make (-3.) (-1.))));
+  Alcotest.(check (pair (float 0.) (float 0.)))
+    "hull0 positive" (0., 5.)
+    (Interval.pair (Interval.hull0 (Interval.make 2. 5.)));
+  Alcotest.(check (pair (float 0.) (float 0.)))
+    "hull0 straddling" (-2., 5.)
+    (Interval.pair (Interval.hull0 (Interval.make (-2.) 5.)));
+  (* max2 ties on degenerate windows stay degenerate and exact *)
+  let d = Interval.exact 4. in
+  Alcotest.(check bool) "max2 tie degenerate" true
+    (Interval.degenerate (Interval.max2 d (Interval.exact 4.)));
+  Alcotest.(check (pair (float 0.) (float 0.)))
+    "max2 tie value" (4., 4.)
+    (Interval.pair (Interval.max2 d (Interval.exact 4.)));
+  Alcotest.(check (pair (float 0.) (float 0.)))
+    "max2 partial tie" (2., 4.)
+    (Interval.pair (Interval.max2 (Interval.make 1. 4.) (Interval.make 2. 4.)));
+  (* NaN is rejected in every constructor position, as is lo > hi *)
+  List.iter
+    (fun (lo, hi) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "make rejects (%f, %f)" lo hi)
+        true
+        (rejects (fun () -> Interval.make lo hi)))
+    [ (Float.nan, 1.); (1., Float.nan); (Float.nan, Float.nan); (2., 1.) ];
+  Alcotest.(check bool) "of_pair rejects NaN" true
+    (rejects (fun () -> Interval.of_pair (Float.nan, 0.)));
+  (* clamp_lo on an entirely-below interval collapses to the floor *)
+  Alcotest.(check (pair (float 0.) (float 0.)))
+    "clamp_lo collapse" (1., 1.)
+    (Interval.pair (Interval.clamp_lo 1. (Interval.make (-2.) (-1.))))
+
 (* ------------------------------------------------------------------ *)
 (* A small hand-built design                                           *)
 
@@ -566,6 +621,7 @@ let () =
           Alcotest.test_case "operations" `Quick test_interval_ops;
           Alcotest.test_case "containment random" `Quick
             test_interval_containment_qcheck;
+          Alcotest.test_case "edge cases" `Quick test_interval_edge_cases;
         ] );
       ( "exactness",
         [
