@@ -235,7 +235,50 @@ let gate_incremental baseline actual =
         ~baseline:"true"
         ~actual:(string_of_bool (boolean ~ctx "bit_identical" d))
         (boolean ~ctx "bit_identical" d))
-    (list ~ctx "designs" actual)
+    (list ~ctx "designs" actual);
+  (* scaling rows: bit-identity and the touched-cells ratio are
+     machine-independent and enforced wherever the row ran; the analyze
+     latency floor is wall-clock and gets the slack multiplier.  A
+     baseline size absent from the artifact (the quick bench skips the
+     10^6 row) is reported as skipped, never silently dropped. *)
+  let sb = mem ~ctx "scaling" baseline in
+  let actual_scaling = list ~ctx "scaling" actual in
+  let max_ratio = num ~ctx "max_incr_ratio" sb in
+  let sslack = num ~ctx "latency_slack" sb in
+  List.iter
+    (fun b ->
+      let cells = int_of_float (num ~ctx "cells" b) in
+      let max_analyze = num ~ctx "max_analyze_ms" b in
+      let label = Printf.sprintf "scale[%d]" cells in
+      match
+        List.find_opt
+          (fun r -> int_of_float (num ~ctx "cells" r) = cells)
+          actual_scaling
+      with
+      | None ->
+        skip ~metric:(label ^ ".row") ~baseline:"present" ~actual:"missing"
+          "not run (quick)"
+      | Some r ->
+        check
+          ~metric:(label ^ ".bit_identical")
+          ~baseline:"true"
+          ~actual:(string_of_bool (boolean ~ctx "bit_identical" r))
+          (boolean ~ctx "bit_identical" r);
+        let ratio = num ~ctx "incr_ratio" r in
+        check
+          ~metric:(label ^ ".incr_ratio")
+          ~baseline:(Printf.sprintf "<= %.3f" max_ratio)
+          ~actual:(Printf.sprintf "%.4f" ratio)
+          (ratio <= max_ratio);
+        let analyze = num ~ctx "analyze_ms" r in
+        check
+          ~metric:(label ^ ".analyze_ms")
+          ~baseline:
+            (Printf.sprintf "<= %.0f (x%.0f slack)" (max_analyze *. sslack)
+               sslack)
+          ~actual:(Printf.sprintf "%.1f" analyze)
+          (analyze <= max_analyze *. sslack))
+    (list ~ctx "rows" sb)
 
 (* --------------------------------------------------------------------- *)
 

@@ -31,6 +31,8 @@ module Timing = Proxim_timing.Timing
 module Graph = Proxim_timing.Graph
 module Design = Proxim_sta.Design
 module Sta = Proxim_sta.Sta
+module Synthgen = Proxim_sta.Synthgen
+module Reference = Proxim_timing.Reference
 module Obs_metrics = Proxim_obs.Metrics
 module Obs_trace = Proxim_obs.Trace
 
@@ -1003,6 +1005,79 @@ let incremental_design rng pool th ~tech ~depth ~width ~trials =
     ir_stats = factory_stats ();
   }
 
+(* ------------------------------------------------------------------ *)
+(* Scaling curve: generated designs at 10^4 .. 10^6 cells, one full
+   analyze and one single-edit update each, with the peak-RSS
+   high-water mark reset per row so the footprint is attributable.
+   Synthetic models run memo-free: their query keys are continuous
+   floats that essentially never repeat across a large design, so the
+   unbounded cache would otherwise dominate the measurement.           *)
+
+type scale_row = {
+  sc_cells : int;
+  sc_levels : int;
+  sc_nets : int;
+  sc_gen_ms : float;
+  sc_analyze_ms : float;
+  sc_update_ms : float;
+  sc_update_evaluated : int;
+  sc_incr_ratio : float;  (** update_evaluated / cells *)
+  sc_bit_identical : bool;
+  sc_peak_rss_mb : float;
+  sc_arena_mb : float;
+}
+
+let scaling_row pool th ~tech ~cells =
+  Gc.compact ();
+  Obs_metrics.reset_peak_rss ();
+  let t0 = Unix.gettimeofday () in
+  let _name, design = Synthgen.generate ~seed:1 ~tech ~cells () in
+  let gen_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+  let factory = Sta.synthetic_factory ~memo:false () in
+  let pi =
+    List.map
+      (fun net ->
+        (net, { Sta.time = 0.; slew = 300e-12; edge = Measure.Fall }))
+      (Design.primary_inputs design)
+  in
+  let ir =
+    Sta.build_ir ~mode:Sta.Proximity ~models:factory.Sta.models ~thresholds:th
+      design ~pi
+  in
+  let t0 = Unix.gettimeofday () in
+  ignore (Sta.reanalyze ~pool ir : Timing.stats);
+  let analyze_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+  let eco =
+    Sta.Set_pi
+      ("pi0", Some { Sta.time = 20e-12; slew = 250e-12; edge = Measure.Fall })
+  in
+  let t0 = Unix.gettimeofday () in
+  let st = Sta.update ~pool ir [ eco ] in
+  let update_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+  let g = Design.graph design in
+  (* read the high-water mark before the record-engine oracle runs: its
+     boxed allocations are verification overhead, not the workload's *)
+  let peak_rss_mb =
+    float_of_int (Obs_metrics.peak_rss_bytes ()) /. (1024. *. 1024.)
+  in
+  let arena_mb =
+    float_of_int (Timing.arena_bytes (Sta.timing ir)) /. (1024. *. 1024.)
+  in
+  let identical = Reference.agrees (Sta.timing ir) in
+  {
+    sc_cells = cells;
+    sc_levels = Graph.level_count g;
+    sc_nets = Graph.net_count g;
+    sc_gen_ms = gen_ms;
+    sc_analyze_ms = analyze_ms;
+    sc_update_ms = update_ms;
+    sc_update_evaluated = st.Timing.evaluated;
+    sc_incr_ratio = float_of_int st.Timing.evaluated /. float_of_int cells;
+    sc_bit_identical = identical;
+    sc_peak_rss_mb = peak_rss_mb;
+    sc_arena_mb = arena_mb;
+  }
+
 let incremental_bench () =
   let c = Lazy.force ctx in
   section "Incremental (ECO) re-analysis: Sta.update vs full reanalyze";
@@ -1038,7 +1113,25 @@ let incremental_bench () =
         local_hits = 0 }
       results
   in
+  subsection "Scaling: generated designs, full analyze vs single-edit ECO";
+  let scale_sizes =
+    if !quick then [ 10_000; 100_000 ] else [ 10_000; 100_000; 1_000_000 ]
+  in
+  let scaling =
+    List.map
+      (fun cells ->
+        let r = scaling_row pool c.th ~tech:c.tech ~cells in
+        Printf.printf
+          "  %8d cells: gen %7.0f ms, analyze %8.1f ms, update %6.2f ms \
+           (%d cells, ratio %.2e), arena %.1f MB, peak RSS %.1f MB, %s\n%!"
+          r.sc_cells r.sc_gen_ms r.sc_analyze_ms r.sc_update_ms
+          r.sc_update_evaluated r.sc_incr_ratio r.sc_arena_mb r.sc_peak_rss_mb
+          (if r.sc_bit_identical then "bit-identical" else "MISMATCH");
+        r)
+      scale_sizes
+  in
   Pool.shutdown pool;
+  let identical = identical && List.for_all (fun r -> r.sc_bit_identical) scaling in
   Printf.printf
     "  INCREMENTAL SUMMARY: median speedup %.1fx (worst design), reports \
      %s, model cache %d hits / %d misses / %d entries\n"
@@ -1066,6 +1159,19 @@ let incremental_bench () =
         r.ir_evaluated r.ir_identical
         (if i = List.length results - 1 then "" else ","))
     results;
+  Printf.fprintf oc "  ],\n  \"scaling\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"cells\": %d, \"levels\": %d, \"nets\": %d, \"gen_ms\": \
+         %.1f, \"analyze_ms\": %.2f, \"update_ms\": %.4f, \
+         \"update_evaluated\": %d, \"incr_ratio\": %.3e, \"bit_identical\": \
+         %b, \"peak_rss_mb\": %.1f, \"arena_mb\": %.1f }%s\n"
+        r.sc_cells r.sc_levels r.sc_nets r.sc_gen_ms r.sc_analyze_ms
+        r.sc_update_ms r.sc_update_evaluated r.sc_incr_ratio
+        r.sc_bit_identical r.sc_peak_rss_mb r.sc_arena_mb
+        (if i = List.length scaling - 1 then "" else ","))
+    scaling;
   Printf.fprintf oc
     "  ],\n\
     \  \"model_cache\": { \"hits\": %d, \"misses\": %d, \"entries\": %d },\n\

@@ -332,6 +332,8 @@ let run_lint files format fail_on fanout_limit codes =
 module Sta = Proxim_sta.Sta
 module Design = Proxim_sta.Design
 module Netlist_text = Proxim_sta.Netlist_text
+module Netlist_bin = Proxim_sta.Netlist_bin
+module Synthgen = Proxim_sta.Synthgen
 module Timing = Proxim_timing.Timing
 module Graph = Proxim_timing.Graph
 module Memo_cache = Proxim_util.Memo_cache
@@ -371,6 +373,28 @@ let parse_eco_spec s =
         (Printf.sprintf
            "bad eco %s (expected pi:NET:EDGE:TAU_PS:CROSS_PS, pi:NET:quiet \
             or cell:NAME)"
+           s))
+
+(* --pi-all: one event applied to every primary input not already named
+   by a --pi option — the only sane way to drive a generated
+   million-input-free design where PIs are pi0..piN *)
+let parse_pi_all_spec s =
+  match String.split_on_char ':' s with
+  | [ edge_s; tau_s; t_s ] -> (
+    match edge_of_string edge_s with
+    | Error e -> Error e
+    | Ok edge -> (
+      match (float_of_string_opt tau_s, float_of_string_opt t_s) with
+      | Some tau_ps, Some t_ps ->
+        Ok { Sta.time = t_ps *. 1e-12; slew = tau_ps *. 1e-12; edge }
+      | None, _ | _, None ->
+        Error (`Msg (Printf.sprintf "bad numbers in pi-all event %s" s))))
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "bad pi-all event %s (expected edge:tau_ps:cross_ps, e.g. \
+            fall:500:0)"
            s))
 
 let rec parse_all parse acc = function
@@ -470,39 +494,62 @@ let sta_prune_mask ~models ~thresholds design ~pi ~ecos =
     Some (fun c -> vm c || hm c)
   end
 
-let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
-    verify_eco no_prune =
+(* one loader for both netlist encodings: route on the magic bytes, not
+   the file extension *)
+let load_design tech file =
+  if Netlist_bin.file_is_binary file then Netlist_bin.read_file tech file
+  else
+    match In_channel.with_open_text file In_channel.input_all with
+    | exception Sys_error m -> Error m
+    | text ->
+      Result.map
+        (fun (name, design) ->
+          let raw = Netlist_text.parse_raw tech text in
+          ( name,
+            design,
+            Option.map fst raw.Netlist_text.raw_thresholds ))
+        (Netlist_text.parse tech text)
+
+let run_sta file pi_specs pi_all_spec mode models_kind paths_k required_ps
+    eco_specs verify_eco no_prune summary =
   let tech = Tech.generic_5v in
-  match In_channel.with_open_text file In_channel.input_all with
-  | exception Sys_error m ->
+  match load_design tech file with
+  | Error m ->
     prerr_endline m;
     1
-  | text -> (
-    match Netlist_text.parse tech text with
-    | Error m ->
-      prerr_endline m;
-      1
-    | Ok (name, design) -> (
+  | Ok (name, design, file_th) -> (
       match
         ( parse_all parse_pi_spec [] pi_specs,
-          parse_all parse_eco_spec [] eco_specs )
+          parse_all parse_eco_spec [] eco_specs,
+          Option.fold ~none:(Ok None)
+            ~some:(fun s -> Result.map Option.some (parse_pi_all_spec s))
+            pi_all_spec )
       with
-      | Error (`Msg m), _ | _, Error (`Msg m) ->
+      | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
         prerr_endline m;
         1
-      | Ok [], _ ->
-        prerr_endline "proxim sta: need at least one --pi event";
+      | Ok [], _, Ok None ->
+        prerr_endline "proxim sta: need at least one --pi event (or --pi-all)";
         1
-      | Ok pi, Ok ecos ->
+      | Ok named_pi, Ok ecos, Ok pi_all ->
+        let pi =
+          match pi_all with
+          | None -> named_pi
+          | Some a ->
+            named_pi
+            @ List.filter_map
+                (fun net ->
+                  if List.mem_assoc net named_pi then None else Some (net, a))
+                (Design.primary_inputs design)
+        in
         if paths_k < 1 then begin
           prerr_endline "proxim sta: --paths must be >= 1";
           2
         end
         else begin
-          let raw = Netlist_text.parse_raw tech text in
           let th =
-            match raw.Netlist_text.raw_thresholds with
-            | Some (th, _) -> th
+            match file_th with
+            | Some th -> th
             | None -> (
               match Design.cells design with
               | c :: _ -> Vtc.thresholds c.Design.gate
@@ -532,12 +579,17 @@ let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
           ignore (Sta.reanalyze ir : Timing.stats);
           let show_results () =
             let report = Sta.report ir in
-            Printf.printf "arrivals:\n";
-            List.iter
-              (fun (net, (a : Sta.arrival)) ->
-                Printf.printf "  %-14s %8.1f ps  slew %7.1f ps  %s\n" net
-                  (ps a.Sta.time) (ps a.Sta.slew) (edge_name a.Sta.edge))
-              report.Sta.arrivals;
+            if summary then
+              Printf.printf "arrivals: %d switching nets\n"
+                (List.length report.Sta.arrivals)
+            else begin
+              Printf.printf "arrivals:\n";
+              List.iter
+                (fun (net, (a : Sta.arrival)) ->
+                  Printf.printf "  %-14s %8.1f ps  slew %7.1f ps  %s\n" net
+                    (ps a.Sta.time) (ps a.Sta.slew) (edge_name a.Sta.edge))
+                report.Sta.arrivals
+            end;
             (match report.Sta.critical_po with
              | None -> Printf.printf "no primary output switches\n"
              | Some (po, a) ->
@@ -597,20 +649,93 @@ let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
             cs.Memo_cache.hits cs.Memo_cache.misses cs.Memo_cache.waits
             cs.Memo_cache.entries;
           if eco_ok then 0 else 1
-        end))
+        end)
 
 (* CLI boundary: an unknown net or cell in --eco is a user typo, not an
    internal failure — report it like a lint error (exit 2) instead of
    escaping as a raw exception with a backtrace. *)
-let run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
-    verify_eco no_prune =
+let run_sta file pi_specs pi_all mode models_kind paths_k required_ps
+    eco_specs verify_eco no_prune summary =
   try
-    run_sta file pi_specs mode models_kind paths_k required_ps eco_specs
-      verify_eco no_prune
+    run_sta file pi_specs pi_all mode models_kind paths_k required_ps
+      eco_specs verify_eco no_prune summary
   with Sta.Unknown_eco_target { kind; name } ->
     Printf.eprintf "proxim sta: error: --eco refers to unknown %s %s\n" kind
       name;
     2
+
+(* ------------------------------------------------------------------ *)
+(* gen / convert                                                       *)
+
+let format_for ~explicit ~path =
+  match explicit with
+  | Some f -> f
+  | None -> if Filename.check_suffix path ".pxb" then `Binary else `Text
+
+(* Netlist_text.to_string never emits a thresholds directive, so a
+   binary file carrying one keeps it across a round-trip by injecting
+   the line just before the closing [end]. *)
+let text_with_thresholds ~name design th =
+  let s = Netlist_text.to_string ~name design in
+  match th with
+  | None -> s
+  | Some (t : Vtc.thresholds) ->
+    let line =
+      Printf.sprintf "thresholds %.17g %.17g %.17g\n" t.Vtc.vil t.Vtc.vih
+        t.Vtc.vdd
+    in
+    let tail = "end\n" in
+    if
+      String.length s >= String.length tail
+      && String.sub s (String.length s - String.length tail)
+           (String.length tail)
+         = tail
+    then
+      String.sub s 0 (String.length s - String.length tail) ^ line ^ tail
+    else s ^ line
+
+let run_gen cells seed depth window reach out fmt =
+  match
+    Synthgen.generate ~seed ~depth ~window ~reach ~tech:Tech.generic_5v
+      ~cells ()
+  with
+  | exception Invalid_argument m ->
+    prerr_endline ("proxim gen: " ^ m);
+    2
+  | name, design ->
+    let g = Design.graph design in
+    (match out with
+     | None -> print_string (Netlist_text.to_string ~name design)
+     | Some path ->
+       (match format_for ~explicit:fmt ~path with
+        | `Binary -> Netlist_bin.write_file ~name design path
+        | `Text ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc
+                (Netlist_text.to_string ~name design)));
+       Printf.printf "%s: %d cells, %d nets, %d levels -> %s\n" name
+         (Graph.cell_count g) (Graph.net_count g) (Graph.level_count g) path);
+    0
+
+let run_convert input output fmt =
+  let tech = Tech.generic_5v in
+  match load_design tech input with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok (name, design, th) ->
+    let target = format_for ~explicit:fmt ~path:output in
+    (match target with
+     | `Binary -> Netlist_bin.write_file ?thresholds:th ~name design output
+     | `Text ->
+       Out_channel.with_open_bin output (fun oc ->
+           Out_channel.output_string oc
+             (text_with_thresholds ~name design th)));
+    Printf.printf "%s: %d cells -> %s (%s)\n" name
+      (List.length (Design.cells design))
+      output
+      (match target with `Binary -> "binary" | `Text -> "text");
+    0
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -1143,7 +1268,10 @@ let sta_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"Netlist (.ntl) to analyze.")
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Netlist to analyze: text (.ntl) or binary (.pxb), detected by \
+             content.")
   in
   let pi =
     Arg.(
@@ -1220,16 +1348,34 @@ let sta_cmd =
              analyses apply by default (the pruned analysis is bit-identical \
              by construction; this flag exists to measure it).")
   in
+  let pi_all =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pi-all" ] ~docv:"EVENT"
+          ~doc:
+            "Apply one event as edge:tau_ps:cross_ps to every primary input \
+             not already named by a --pi option — the practical way to \
+             drive generated designs with thousands of inputs.")
+  in
+  let summary =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:
+            "Print only the switching-net count instead of the full \
+             per-net arrival table (for large designs).")
+  in
   Cmd.v
     (Cmd.info "sta"
        ~doc:
-         "Static timing analysis of a netlist: arrivals, K-worst paths, \
-          slacks, incremental (ECO) re-analysis")
+         "Static timing analysis of a netlist (text or binary): arrivals, \
+          K-worst paths, slacks, incremental (ECO) re-analysis")
     Term.(
-      const (fun () obs f p m k pk r e v np ->
-          finish_obs obs (run_sta f p m k pk r e v np))
-      $ domains_setup $ obs_setup $ file $ pi $ mode $ models $ paths
-      $ required $ eco $ verify_eco $ no_prune)
+      const (fun () obs f p pa m k pk r e v np s ->
+          finish_obs obs (run_sta f p pa m k pk r e v np s))
+      $ domains_setup $ obs_setup $ file $ pi $ pi_all $ mode $ models
+      $ paths $ required $ eco $ verify_eco $ no_prune $ summary)
 
 let verify_cmd =
   let file =
@@ -1484,11 +1630,92 @@ let storage_cmd =
   Cmd.v (Cmd.info "storage" ~doc:"Storage-complexity comparison (paper figure 4-2)")
     Term.(const run_storage $ fan_in $ points)
 
+let format_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("text", `Text); ("binary", `Binary) ])) None
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output encoding: text or binary.  Default: by output extension \
+           (.pxb is binary, anything else text).")
+
+let gen_cmd =
+  let cells =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "cells"; "n" ] ~docv:"N" ~doc:"Number of cells to generate.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed; same seed and shape, same design, bit for bit.")
+  in
+  let depth =
+    Arg.(
+      value & opt int 16
+      & info [ "depth" ] ~docv:"D" ~doc:"Number of logic layers (levels).")
+  in
+  let window =
+    Arg.(
+      value & opt int 8
+      & info [ "window" ] ~docv:"W"
+          ~doc:
+            "Placement-locality window: inputs come from within ±W of the \
+             cell's aligned position in the source layer.")
+  in
+  let reach =
+    Arg.(
+      value & opt int 3
+      & info [ "reach" ] ~docv:"R"
+          ~doc:
+            "How many layers back non-dominant inputs may reach \
+             (reconvergence).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write here instead of stdout (stdout is always text).")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a deterministic synthetic layered design for scale \
+          testing")
+    Term.(
+      const (fun n s d w r o f -> run_gen n s d w r o f)
+      $ cells $ seed $ depth $ window $ reach $ out $ format_arg)
+
+let convert_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"INPUT"
+          ~doc:"Netlist to read (text or binary, detected by content).")
+  in
+  let output =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUTPUT" ~doc:"File to write.")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert a netlist between the text (.ntl) and binary (.pxb) \
+          encodings, preserving any thresholds directive")
+    Term.(const run_convert $ input $ output $ format_arg)
+
 let () =
   let doc = "temporal-proximity gate delay modeling (DAC'96 reproduction)" in
   let main =
     Cmd.group (Cmd.info "proxim" ~version:"1.0.0" ~doc)
       [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; sta_cmd; verify_cmd;
-        hazards_cmd; profile_cmd; storage_cmd; lint_cmd ]
+        hazards_cmd; profile_cmd; storage_cmd; lint_cmd; gen_cmd;
+        convert_cmd ]
   in
   exit (Cmd.eval' main)

@@ -59,7 +59,13 @@ val merge_stats :
     [cache_stats] closure here, exported so model factories (and the CLI)
     can aggregate statistics across many models. *)
 
-val synthetic : ?seed:int -> ?spread:float -> ?work:int -> Proxim_gates.Gate.t -> t
+val synthetic :
+  ?seed:int ->
+  ?spread:float ->
+  ?work:int ->
+  ?memo:bool ->
+  Proxim_gates.Gate.t ->
+  t
 (** Purely analytic models: smooth closed-form single- and dual-input
     responses with the right qualitative shape (positive delays, slew
     dependence, assisting inputs speeding the response up and gating
@@ -77,7 +83,14 @@ val synthetic : ?seed:int -> ?spread:float -> ?work:int -> Proxim_gates.Gate.t -
     loop) for benchmarks that want model evaluation to dominate.  Queries
     are memoized through a real domain-safe {!Proxim_util.Memo_cache}, so
     [cache_stats] reports live hit/miss counters exactly like the
-    simulator-backed models. *)
+    simulator-backed models.
+
+    [memo:false] disables that cache (every query recomputes, counters
+    stay zero).  The cache is unbounded, and on large generated designs
+    the query keys — continuous arrival/slew floats — essentially never
+    repeat, so the default would retain one entry per evaluation forever;
+    million-cell scaling runs pass [~memo:false] to keep peak RSS
+    proportional to the design, not to the evaluation count. *)
 
 val of_oracle :
   ?opts:Proxim_spice.Options.t ->

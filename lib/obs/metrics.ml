@@ -382,6 +382,56 @@ let to_json s =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
+(* --- process memory -------------------------------------------------- *)
+
+(* VmHWM from /proc/self/status: the kernel's high-water-mark of resident
+   set size, in kB.  Parsed by hand so the hot path stays Scanf-free. *)
+let proc_vm_hwm_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        let prefix = "VmHWM:" in
+        if String.length line > String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix
+        then begin
+          let kb = ref 0 and seen = ref false in
+          String.iter
+            (fun c ->
+              if c >= '0' && c <= '9' then begin
+                kb := (!kb * 10) + (Char.code c - Char.code '0');
+                seen := true
+              end)
+            line;
+          if !seen then Some (!kb * 1024) else None
+        end
+        else scan ()
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let peak_rss_bytes () =
+  match proc_vm_hwm_bytes () with
+  | Some b -> b
+  | None ->
+    (* portable approximation: the GC's major-heap high-water mark.
+       Undercounts (no stacks, code, malloc'd C blocks) but keeps the
+       gauge meaningful off Linux. *)
+    let words = (Gc.quick_stat ()).Gc.top_heap_words in
+    words * (Sys.word_size / 8)
+
+let reset_peak_rss () =
+  (* writing "5" to clear_refs resets VmHWM to the current RSS, which is
+     what lets the bench attribute a high-water mark to one workload row;
+     silently a no-op where the file is absent or read-only *)
+  match open_out "/proc/self/clear_refs" with
+  | exception Sys_error _ -> ()
+  | oc ->
+    (try output_string oc "5" with Sys_error _ -> ());
+    close_out_noerr oc
+
 (* --- bridging the util-layer instrumentation ------------------------ *)
 
 let install_util_sources ?(registry = default) () =
@@ -400,4 +450,6 @@ let install_util_sources ?(registry = default) () =
   register_counter_source ~registry "pool.steals" P.steals;
   register_gauge_source ~registry "pool.active_domains" (fun () ->
     float_of_int (P.active_domains ()));
-  register_counter_source ~registry "interp.grid_clamps" I.grid_clamp_events
+  register_counter_source ~registry "interp.grid_clamps" I.grid_clamp_events;
+  register_gauge_source ~registry "process.peak_rss_bytes" (fun () ->
+    float_of_int (peak_rss_bytes ()))

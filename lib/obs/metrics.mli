@@ -124,12 +124,26 @@ val json_escape : string -> string
 (** Escape a string for inclusion inside a JSON string literal (used by
     the reporters here and by the trace writer). *)
 
+val peak_rss_bytes : unit -> int
+(** Peak resident set size of this process, in bytes: [VmHWM] from
+    [/proc/self/status] where available (Linux), otherwise the GC
+    major-heap high-water mark ([top_heap_words]) as a portable
+    under-approximation. *)
+
+val reset_peak_rss : unit -> unit
+(** Reset the kernel's RSS high-water mark to the current RSS (writes
+    ["5"] to [/proc/self/clear_refs]), so the next {!peak_rss_bytes}
+    reading is attributable to work done since the reset.  A no-op where
+    the interface does not exist. *)
+
 val install_util_sources : ?registry:registry -> unit -> unit
 (** Register the util-layer instrumentation as sources: [cache.hits],
     [cache.misses], [cache.waits], [cache.evictions], [cache.local_hits]
     (process-wide {!Proxim_util.Memo_cache} totals, including the
     domain-local warm path), [pool.parallel_jobs], [pool.serial_jobs],
     [pool.tasks], [pool.chunks], [pool.steals], the
-    [pool.active_domains] utilization gauge, and [interp.grid_clamps]
-    (out-of-range grid queries under the clamping policy).
-    Idempotent. *)
+    [pool.active_domains] utilization gauge, [interp.grid_clamps]
+    (out-of-range grid queries under the clamping policy), and the
+    [process.peak_rss_bytes] gauge ({!peak_rss_bytes}), which therefore
+    lands in every snapshot — including the [metrics] object embedded in
+    each bench [BENCH_*.json].  Idempotent. *)

@@ -12,10 +12,14 @@ type t = {
   cell_list : cell list;
   pis : string list;
   pos : string list;
+  pos_tbl : (string, unit) Hashtbl.t;  (* membership index for fanout_load *)
   graph : cell Graph.t;
 }
 
 let create ~cells:cell_list ~primary_inputs:pis ~primary_outputs:pos =
+  (* every membership test goes through a hash table: validation must
+     stay linear in the design size, or million-cell netlists spend
+     longer here than in the analysis proper *)
   let seen = Hashtbl.create 16 in
   List.iter
     (fun c ->
@@ -25,12 +29,14 @@ let create ~cells:cell_list ~primary_inputs:pis ~primary_outputs:pos =
       if Array.length c.input_nets <> c.gate.Gate.fan_in then
         invalid_arg ("Design.create: arity mismatch on " ^ c.name))
     cell_list;
+  let pi_tbl = Hashtbl.create (List.length pis) in
+  List.iter (fun net -> Hashtbl.replace pi_tbl net ()) pis;
   let driver_tbl = Hashtbl.create 16 in
   List.iter
     (fun c ->
       if Hashtbl.mem driver_tbl c.output_net then
         invalid_arg ("Design.create: net driven twice: " ^ c.output_net);
-      if List.mem c.output_net pis then
+      if Hashtbl.mem pi_tbl c.output_net then
         invalid_arg ("Design.create: primary input driven: " ^ c.output_net);
       Hashtbl.add driver_tbl c.output_net c)
     cell_list;
@@ -39,14 +45,14 @@ let create ~cells:cell_list ~primary_inputs:pis ~primary_outputs:pos =
     (fun c ->
       Array.iter
         (fun net ->
-          if (not (Hashtbl.mem driver_tbl net)) && not (List.mem net pis) then
-            invalid_arg ("Design.create: undriven net " ^ net))
+          if (not (Hashtbl.mem driver_tbl net)) && not (Hashtbl.mem pi_tbl net)
+          then invalid_arg ("Design.create: undriven net " ^ net))
         c.input_nets)
     cell_list;
   List.iter
     (fun net ->
-      if (not (Hashtbl.mem driver_tbl net)) && not (List.mem net pis) then
-        invalid_arg ("Design.create: undriven primary output " ^ net))
+      if (not (Hashtbl.mem driver_tbl net)) && not (Hashtbl.mem pi_tbl net)
+      then invalid_arg ("Design.create: undriven primary output " ^ net))
     pos;
   let graph =
     try
@@ -65,7 +71,9 @@ let create ~cells:cell_list ~primary_inputs:pis ~primary_outputs:pos =
     with Graph.Cycle { through } ->
       invalid_arg ("Design.create: combinational cycle through " ^ through)
   in
-  { cell_list; pis; pos; graph }
+  let pos_tbl = Hashtbl.create (List.length pos) in
+  List.iter (fun net -> Hashtbl.replace pos_tbl net ()) pos;
+  { cell_list; pis; pos; pos_tbl; graph }
 
 let cells t = t.cell_list
 let primary_inputs t = t.pis
@@ -99,5 +107,5 @@ let fanout_load ?(wire_cap = default_wire_cap) t ~net =
       (fun acc (c, _pin) -> acc +. Gate.input_capacitance c.gate)
       0. (readers t ~net)
   in
-  let pad = if List.mem net t.pos then pad_cap else 0. in
+  let pad = if Hashtbl.mem t.pos_tbl net then pad_cap else 0. in
   pin_caps +. wire_cap +. pad

@@ -82,22 +82,31 @@ let events_of_inputs inputs =
    overwritten with the actual output arrival, so the K-worst enumeration
    reproduces the reported arrival exactly on the top path. *)
 let candidates_of (m : Models.t) ~edge ~out_time ~winner inputs =
-  Array.of_list
-    (List.map
-       (fun (i : Timing.input) ->
-         let would_be =
-           if i.Timing.in_pin = winner then out_time
-           else
-             i.Timing.in_arrival.time
-             +. m.Models.delay1 ~pin:i.Timing.in_pin ~edge
-                  ~tau:i.Timing.in_arrival.slew
-         in
-         {
-           Timing.pin = i.Timing.in_pin;
-           from_net = i.Timing.in_net;
-           would_be;
-         })
-       inputs)
+  (* filled straight from the input list — no intermediate list of boxed
+     records on what is the hottest allocation site of every engine *)
+  match inputs with
+  | [] -> [||]
+  | (first : Timing.input) :: _ ->
+    let n = List.length inputs in
+    let cand (i : Timing.input) =
+      let would_be =
+        if i.Timing.in_pin = winner then out_time
+        else
+          i.Timing.in_arrival.time
+          +. m.Models.delay1 ~pin:i.Timing.in_pin ~edge
+               ~tau:i.Timing.in_arrival.slew
+      in
+      { Timing.pin = i.Timing.in_pin; from_net = i.Timing.in_net; would_be }
+    in
+    let out = Array.make n (cand first) in
+    let rec fill k = function
+      | [] -> ()
+      | i :: rest ->
+        if k > 0 then out.(k) <- cand i;
+        fill (k + 1) rest
+    in
+    fill 0 inputs;
+    out
 
 (* latest single-input response wins; its transition time becomes the
    output slew, and the winning pin becomes the path predecessor *)
@@ -490,12 +499,12 @@ let table_factory ?opts ?wire_cap ?taus ?x_tau ?x_sep ?share_others ?pool
       let gate = { cell.Design.gate with Gate.load } in
       Models.of_tables ?opts ?taus ?x_tau ?x_sep ?share_others ?pool gate th)
 
-let synthetic_factory ?seed ?spread ?work () =
+let synthetic_factory ?seed ?spread ?work ?memo () =
   let cache = Memo_cache.create ~shards:4 ~local:true () in
   factory_of ~cache
     ~key_of:(fun (cell : Design.cell) -> cell.Design.gate.Gate.name)
     ~build:(fun (cell : Design.cell) ->
-      Models.synthetic ?seed ?spread ?work cell.Design.gate)
+      Models.synthetic ?seed ?spread ?work ?memo cell.Design.gate)
 
 let oracle_model_factory ?opts ?wire_cap design th =
   (oracle_factory ?opts ?wire_cap design th).models

@@ -252,13 +252,15 @@ val table_factory :
     builders. *)
 
 val synthetic_factory :
-  ?seed:int -> ?spread:float -> ?work:int -> unit -> factory
+  ?seed:int -> ?spread:float -> ?work:int -> ?memo:bool -> unit -> factory
 (** A [models] function over {!Proxim_macromodel.Models.synthetic}
     analytic models, one per gate type (synthetic models carry no load
     dependence).  No simulator behind it: this is the factory the
     randomized equivalence tests, the incremental benchmark and quick
     CLI experiments use.  The options are forwarded to
-    {!Proxim_macromodel.Models.synthetic}. *)
+    {!Proxim_macromodel.Models.synthetic}; pass [~memo:false] on
+    million-cell designs so the unbounded query cache does not dominate
+    peak RSS. *)
 
 val oracle_model_factory :
   ?opts:Proxim_spice.Options.t ->

@@ -1,0 +1,108 @@
+module Gate = Proxim_gates.Gate
+module Prng = Proxim_util.Prng
+
+let generate ?(seed = 0) ?(depth = 16) ?(window = 8) ?(reach = 3) ~tech ~cells
+    () =
+  if depth < 1 then invalid_arg "Synthgen.generate: depth < 1";
+  if cells < depth then invalid_arg "Synthgen.generate: cells < depth";
+  if window < 1 then invalid_arg "Synthgen.generate: window < 1";
+  if reach < 1 then invalid_arg "Synthgen.generate: reach < 1";
+  let gate name =
+    match Gate.of_name tech name with
+    | Ok g -> g
+    | Error msg -> invalid_arg ("Synthgen.generate: " ^ msg)
+  in
+  let gmix = [| gate "nand2"; gate "nor2"; gate "nand3" |] in
+  let rng = Prng.create (Int64.logxor 0x5058_5359_4e54_4845L (Int64.of_int seed)) in
+  let base = cells / depth and extra = cells mod depth in
+  let width l = base + if l < extra then 1 else 0 in
+  (* enough sources that even a nand3 in the narrowest configuration can
+     find distinct inputs *)
+  let n_pis = max (width 0) 4 in
+  let pis = Array.init n_pis (fun j -> "pi" ^ string_of_int j) in
+  (* pools.(0) = primary inputs, pools.(l + 1) = nets of layer l *)
+  let pools = Array.make (depth + 1) [||] in
+  pools.(0) <- pis;
+  let rev_cells = ref [] in
+  for l = 0 to depth - 1 do
+    let w = width l in
+    let nets = Array.make w "" in
+    let lp = string_of_int l in
+    for j = 0 to w - 1 do
+      let js = string_of_int j in
+      let g = gmix.(Prng.int rng ~lo:0 ~hi:(Array.length gmix - 1)) in
+      let k = g.Gate.fan_in in
+      let chosen = Array.make k "" in
+      let used name =
+        let rec go i = i < k && (chosen.(i) = name || go (i + 1)) in
+        go 0
+      in
+      (* a source near this cell's aligned position in [pool], wrapping
+         at the pool boundary (placement locality) *)
+      let pos_in pool =
+        let wp = Array.length pool in
+        let idx = ((j * wp / w) + Prng.int rng ~lo:(-window) ~hi:window) mod wp in
+        pool.(if idx < 0 then idx + wp else idx)
+      in
+      for pin = 0 to k - 1 do
+        (* pin 0 always reads the immediately previous pool, pinning the
+           cell's timing level to its layer index; the rest reach back up
+           to [reach] parity-preserving steps (two layers each) for
+           reconvergent structure.  Parity matters: every gate in the mix
+           inverts, so a net's edge polarity is its layer parity, and the
+           single-vector analysis rejects cells with mixed input edges *)
+        let pool_of () =
+          if pin = 0 then pools.(l)
+          else pools.(l - (2 * Prng.int rng ~lo:0 ~hi:(min (reach - 1) (l / 2))))
+        in
+        let name = ref (pos_in (pool_of ())) in
+        let attempts = ref 0 in
+        while used !name && !attempts < 64 do
+          incr attempts;
+          name := pos_in (pool_of ())
+        done;
+        if used !name then begin
+          (* deterministic fallback for degenerate widths: first unused
+             net scanning the recent same-parity pools *)
+          let found = ref false in
+          let p = ref l in
+          while (not !found) && !p >= 0 do
+            let pool = pools.(!p) in
+            let i = ref 0 in
+            while (not !found) && !i < Array.length pool do
+              if not (used pool.(!i)) then begin
+                name := pool.(!i);
+                found := true
+              end;
+              incr i
+            done;
+            p := !p - 2
+          done;
+          if not !found then
+            invalid_arg "Synthgen.generate: design too narrow for gate fan-in"
+        end;
+        chosen.(pin) <- !name
+      done;
+      let net = "n" ^ lp ^ "_" ^ js in
+      nets.(j) <- net;
+      rev_cells :=
+        {
+          Design.name = "u" ^ lp ^ "_" ^ js;
+          gate = g;
+          input_nets = chosen;
+          output_net = net;
+        }
+        :: !rev_cells
+    done;
+    pools.(l + 1) <- nets
+  done;
+  let design =
+    Design.create ~cells:(List.rev !rev_cells)
+      ~primary_inputs:(Array.to_list pis)
+      ~primary_outputs:(Array.to_list pools.(depth))
+  in
+  let name =
+    "synth_c" ^ string_of_int cells ^ "_d" ^ string_of_int depth ^ "_s"
+    ^ string_of_int seed
+  in
+  (name, design)

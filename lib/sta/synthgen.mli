@@ -1,0 +1,45 @@
+(** Deterministic synthetic-design generator for scale testing.
+
+    Real benchmark netlists stop at a few thousand cells; the scaling
+    story needs designs three orders of magnitude larger with {e known}
+    structure.  [generate] builds a layered combinational design:
+    [depth] layers of roughly equal width, each cell drawing its first
+    input from the immediately previous layer (so layer index {e is} the
+    timing level — an invariant the tests lean on) and its remaining
+    inputs from up to [reach - 1] parity-preserving steps (two layers
+    each) further back, at positions within [±window] of the cell's own
+    aligned position.  Parity-preserving because the gate mix is all
+    inverting: a net's edge polarity is its layer parity, and a cell fed
+    from both parities would see mixed input edges, which the
+    single-vector analysis rejects by design.  The local window
+    models placement locality: fanout cones stay geometrically narrow,
+    so a single-PI ECO touches O(depth · window) cells rather than a
+    constant fraction of the design — which is what makes incremental
+    latency measurable against full-analysis latency at 10^6 cells.
+    Back-reach edges reconverge (a cell and its neighbour share distant
+    ancestors), exercising the dominant-pin selection on multi-path
+    fanin exactly like real logic does.
+
+    Everything is driven by one {!Proxim_util.Prng} stream seeded from
+    [seed]: the same [(seed, cells, depth, window, reach)] tuple yields
+    a byte-identical design on every run and platform.  Gate mix is
+    nand2/nor2/nand3 from [tech].
+
+    Naming: primary inputs ["pi0"…], layer-[l] cell [j] is ["u<l>_<j>"]
+    driving net ["n<l>_<j>"]; the last layer's nets are the primary
+    outputs. *)
+
+val generate :
+  ?seed:int ->
+  ?depth:int ->
+  ?window:int ->
+  ?reach:int ->
+  tech:Proxim_gates.Tech.t ->
+  cells:int ->
+  unit ->
+  string * Design.t
+(** [(name, design)] with exactly [cells] cells.  Defaults:
+    [seed = 0], [depth = 16], [window = 8], [reach = 3].  Requires
+    [cells >= depth >= 1], [window >= 1], [reach >= 1]; raises
+    [Invalid_argument] otherwise.  The generated name encodes the
+    parameters (["synth_c<cells>_d<depth>_s<seed>"]). *)

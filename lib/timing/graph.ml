@@ -206,6 +206,7 @@ let cell_inputs t id = t.cell_inputs.(id)
 let cell_output t id = t.cell_outputs.(id)
 
 let driver t ~net = if t.net_driver.(net) >= 0 then Some t.net_driver.(net) else None
+let driver_id t ~net = t.net_driver.(net)
 
 let readers t ~net = t.net_readers.(net)
 let primary_inputs t = t.pis

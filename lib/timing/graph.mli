@@ -67,6 +67,12 @@ val cell_output : 'cell t -> int -> int
 val driver : 'cell t -> net:int -> int option
 (** The cell driving [net]; [None] for sources (primary inputs). *)
 
+val driver_id : 'cell t -> net:int -> int
+(** {!driver} without the option: the driving cell id, or [-1] for
+    sources.  The propagation hot path reads every input net's driver
+    once per evaluation — this form costs one array load and no
+    allocation. *)
+
 val readers : 'cell t -> net:int -> (int * int) array
 (** [(cell, pin)] pairs reading [net], in declaration order. *)
 

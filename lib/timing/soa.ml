@@ -1,0 +1,70 @@
+module Measure = Proxim_measure.Measure
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  src_time : floats;
+  src_slew : floats;
+  src_tag : Bytes.t;
+  out_time : floats;
+  out_slew : floats;
+  out_tag : Bytes.t;
+  winner : int array;
+  cand_start : int array;
+  cand_count : int array;
+  cand_pin : int array;
+  cand_net : int array;
+  cand_would : floats;
+}
+
+let tag_none = '\000'
+
+let tag_of_edge = function Measure.Rise -> '\001' | Measure.Fall -> '\002'
+
+let edge_of_tag = function
+  | '\001' -> Measure.Rise
+  | '\002' -> Measure.Fall
+  | c -> invalid_arg (Printf.sprintf "Soa.edge_of_tag: tag %d" (Char.code c))
+
+let floats n : floats =
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max n 1) in
+  Bigarray.Array1.fill a 0.;
+  a
+
+let create ~nets ~cells ~fanin =
+  let cand_start = Array.make (cells + 1) 0 in
+  for c = 0 to cells - 1 do
+    cand_start.(c + 1) <- cand_start.(c) + fanin c
+  done;
+  let pool = cand_start.(cells) in
+  {
+    src_time = floats nets;
+    src_slew = floats nets;
+    src_tag = Bytes.make (max nets 1) tag_none;
+    out_time = floats cells;
+    out_slew = floats cells;
+    out_tag = Bytes.make (max cells 1) tag_none;
+    winner = Array.make (max cells 1) 0;
+    cand_start;
+    cand_count = Array.make (max cells 1) 0;
+    cand_pin = Array.make (max pool 1) 0;
+    cand_net = Array.make (max pool 1) 0;
+    cand_would = floats pool;
+  }
+
+let clear_verdicts t = Bytes.fill t.out_tag 0 (Bytes.length t.out_tag) tag_none
+
+let bytes_used t =
+  let word = Sys.word_size / 8 in
+  (8 * Bigarray.Array1.dim t.src_time)
+  + (8 * Bigarray.Array1.dim t.src_slew)
+  + Bytes.length t.src_tag
+  + (8 * Bigarray.Array1.dim t.out_time)
+  + (8 * Bigarray.Array1.dim t.out_slew)
+  + Bytes.length t.out_tag
+  + (word * Array.length t.winner)
+  + (word * Array.length t.cand_start)
+  + (word * Array.length t.cand_count)
+  + (word * Array.length t.cand_pin)
+  + (word * Array.length t.cand_net)
+  + (8 * Bigarray.Array1.dim t.cand_would)

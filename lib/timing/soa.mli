@@ -1,0 +1,70 @@
+(** Flat structure-of-arrays storage for timing annotations.
+
+    One arena holds every annotation the propagation engine keeps per
+    net and per cell — source events, output verdicts and the would-be
+    candidate responses — as parallel [Bigarray.float64] / [int] /
+    [Bytes] arrays indexed by the dense ids of {!Graph}.  Nothing here
+    is a record or an option: a million-cell design costs a handful of
+    contiguous allocations instead of millions of boxed
+    records-of-options, the level sweeps of {!Timing} walk cache-line
+    neighbours, and the GC never scans the annotation state at all
+    (floats live in bigarrays, ids in unboxed [int array]s).
+
+    {!Timing} keeps its historical record types ([arrival], [verdict])
+    as a view layer decoded on demand from this arena, so path
+    enumeration and reports are source-compatible with the
+    records-of-options engine this replaces.
+
+    Edges are stored as one-byte tags; [tag_none] doubles as "no
+    annotation" — the SoA equivalent of [None].
+
+    Candidate arrays are variable-length per cell (one entry per
+    switching input), so they live in a CSR-style pool: cell [c]'s
+    candidates occupy indices [cand_start.(c) ..
+    cand_start.(c) + cand_count.(c) - 1], within a fixed per-cell
+    capacity of the cell's fan-in. *)
+
+module Measure = Proxim_measure.Measure
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  (* per-net source events; meaningful only for undriven nets *)
+  src_time : floats;
+  src_slew : floats;
+  src_tag : Bytes.t;
+  (* per-cell output verdicts *)
+  out_time : floats;
+  out_slew : floats;
+  out_tag : Bytes.t;
+  winner : int array;  (** pin index that set the timing *)
+  (* per-cell candidate pool, CSR by cell with capacity = fan-in *)
+  cand_start : int array;  (** length cells + 1; [cand_start.(cells)] is
+                               the pool size *)
+  cand_count : int array;  (** candidates actually stored, <= capacity *)
+  cand_pin : int array;
+  cand_net : int array;
+  cand_would : floats;
+}
+
+val tag_none : char
+(** ['\000'] — no event / no verdict. *)
+
+val tag_of_edge : Measure.edge -> char
+(** [tag_of_edge Rise = '\001'], [tag_of_edge Fall = '\002']. *)
+
+val edge_of_tag : char -> Measure.edge
+(** Inverse of {!tag_of_edge}; raises [Invalid_argument] on {!tag_none}
+    or any other byte. *)
+
+val create : nets:int -> cells:int -> fanin:(int -> int) -> t
+(** A fresh arena for [nets] nets and [cells] cells, with candidate
+    capacity [fanin c] for cell [c].  All tags start at {!tag_none}. *)
+
+val clear_verdicts : t -> unit
+(** Reset every cell to "no verdict" (tags only; the numeric planes are
+    left as-is, exactly like dropping the records did). *)
+
+val bytes_used : t -> int
+(** Resident footprint of the arena's arrays, in bytes (headers
+    excluded) — what the scaling bench reports alongside peak RSS. *)

@@ -7,6 +7,14 @@
     output event is a pluggable {!engine} — {!Proxim_sta.Sta} provides
     Classic, Proximity and collapse-to-inverter engines over the same IR.
 
+    Annotations are {e stored} in a flat structure-of-arrays arena
+    ({!Soa}): parallel [Bigarray.float64] / int / byte planes indexed
+    by dense net and cell ids, swept level by level as index ranges.
+    The record types below are a view layer decoded on demand, so
+    consumers ({!Paths}, the verify/hazard layers, reports) read the
+    same shapes they always did; {!Reference} keeps the historical
+    records-of-options evaluator alive as a bit-identity oracle.
+
     {!analyze} is a full from-scratch propagation; {!update} is the
     incremental (ECO) variant: after a source-arrival change or a cell
     re-characterization, only the affected fanout cone is re-evaluated,
@@ -55,6 +63,13 @@ val create : 'cell Graph.t -> engine:'cell engine -> 'cell t
 
 val graph : 'cell t -> 'cell Graph.t
 
+val engine : 'cell t -> 'cell engine
+(** The engine the state was created with — what {!Reference} re-runs
+    to cross-check the SoA propagation. *)
+
+val arena_bytes : 'cell t -> int
+(** Resident footprint of the SoA annotation arena, in bytes. *)
+
 val set_source : 'cell t -> net:int -> arrival option -> unit
 (** Set (or clear, with [None]) the arrival event of a source net —
     a primary input.  Raises [Invalid_argument] for driven nets.  The
@@ -63,6 +78,14 @@ val set_source : 'cell t -> net:int -> arrival option -> unit
 
 val arrival : 'cell t -> net:int -> arrival option
 val verdict : 'cell t -> cell:int -> verdict option
+
+val arrival_eq : arrival -> arrival -> bool
+(** Bit-exact equality ([Int64.bits_of_float] on the float planes, so
+    [0.] and [-0.] differ) — the relation behind the incremental
+    engine's early cutoff. *)
+
+val verdict_eq : verdict option -> verdict option -> bool
+(** Bit-exact equality over whole verdicts, candidates included. *)
 
 val predecessor : 'cell t -> net:int -> (int * int) option
 (** [(pred_net, winner_pin)] of a driven, switching net: the input net

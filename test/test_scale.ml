@@ -1,0 +1,239 @@
+(* Tests for the million-cell scale path: the deterministic synthetic
+   design generator, the binary netlist round-trip, and randomized
+   bit-identity of the SoA propagation against the records-of-options
+   reference oracle across full analyses and long ECO sequences. *)
+
+module Prng = Proxim_util.Prng
+module Memo_cache = Proxim_util.Memo_cache
+module Graph = Proxim_timing.Graph
+module Timing = Proxim_timing.Timing
+module Reference = Proxim_timing.Reference
+module Gate = Proxim_gates.Gate
+module Tech = Proxim_gates.Tech
+module Vtc = Proxim_vtc.Vtc
+module Measure = Proxim_measure.Measure
+module Models = Proxim_macromodel.Models
+module Design = Proxim_sta.Design
+module Sta = Proxim_sta.Sta
+module Synthgen = Proxim_sta.Synthgen
+module Netlist_text = Proxim_sta.Netlist_text
+module Netlist_bin = Proxim_sta.Netlist_bin
+
+let tech = Tech.generic_5v
+
+(* ------------------------------------------------------------------ *)
+(* Synthgen structure                                                  *)
+
+let test_synthgen_shape () =
+  let name, design =
+    Synthgen.generate ~seed:3 ~depth:7 ~tech ~cells:1000 ()
+  in
+  Alcotest.(check string) "name" "synth_c1000_d7_s3" name;
+  Alcotest.(check int) "cells" 1000 (List.length (Design.cells design));
+  let g = Design.graph design in
+  Alcotest.(check int) "levels" 7 (Graph.level_count g);
+  (* layer index is the timing level: every cell u<l>_<j> sits at level l *)
+  for l = 0 to Graph.level_count g - 1 do
+    Array.iter
+      (fun c ->
+        let cell : Design.cell = Graph.payload g c in
+        let prefix = "u" ^ string_of_int l ^ "_" in
+        if
+          not
+            (String.length cell.Design.name > String.length prefix
+            && String.sub cell.Design.name 0 (String.length prefix) = prefix)
+        then
+          Alcotest.failf "cell %s found at level %d" cell.Design.name l)
+      (Graph.level g l)
+  done;
+  (* primary outputs are exactly the last layer's nets *)
+  List.iter
+    (fun po ->
+      let prefix = "n6_" in
+      if not (String.sub po 0 (String.length prefix) = prefix) then
+        Alcotest.failf "unexpected primary output %s" po)
+    (Design.primary_outputs design);
+  (* no cell reads the same net twice *)
+  List.iter
+    (fun (c : Design.cell) ->
+      let sorted =
+        List.sort_uniq String.compare (Array.to_list c.Design.input_nets)
+      in
+      Alcotest.(check int)
+        ("distinct inputs of " ^ c.Design.name)
+        (Array.length c.Design.input_nets)
+        (List.length sorted))
+    (Design.cells design)
+
+let test_synthgen_determinism () =
+  let gen () =
+    let name, d = Synthgen.generate ~seed:11 ~depth:5 ~tech ~cells:500 () in
+    Netlist_text.to_string ~name d
+  in
+  Alcotest.(check string) "same seed, same bytes" (gen ()) (gen ());
+  let _, d2 = Synthgen.generate ~seed:12 ~depth:5 ~tech ~cells:500 () in
+  let other = Netlist_text.to_string ~name:"x" d2 in
+  if String.equal (gen ()) other then
+    Alcotest.fail "different seeds produced identical designs"
+
+let test_synthgen_validation () =
+  let bad f = Alcotest.check_raises "rejects" (Invalid_argument f) in
+  bad "Synthgen.generate: cells < depth" (fun () ->
+      ignore (Synthgen.generate ~depth:10 ~tech ~cells:5 ()));
+  bad "Synthgen.generate: depth < 1" (fun () ->
+      ignore (Synthgen.generate ~depth:0 ~tech ~cells:5 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Binary netlist round-trip                                           *)
+
+let temp_bin f =
+  let path = Filename.temp_file "proxim_test" ".pxb" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_bin_roundtrip () =
+  let name, design = Synthgen.generate ~seed:5 ~depth:4 ~tech ~cells:300 () in
+  let th = { Vtc.vil = 1.9; vih = 3.1; vdd = 5. } in
+  temp_bin (fun path ->
+      Netlist_bin.write_file ~thresholds:th ~name design path;
+      Alcotest.(check bool) "sniffs binary" true (Netlist_bin.file_is_binary path);
+      match Netlist_bin.read_file tech path with
+      | Error m -> Alcotest.fail m
+      | Ok (name', design', th') ->
+        Alcotest.(check string) "name" name name';
+        Alcotest.(check string) "structure"
+          (Netlist_text.to_string ~name design)
+          (Netlist_text.to_string ~name design');
+        (match th' with
+         | None -> Alcotest.fail "thresholds lost"
+         | Some t ->
+           Alcotest.(check (float 0.)) "vil" th.Vtc.vil t.Vtc.vil;
+           Alcotest.(check (float 0.)) "vih" th.Vtc.vih t.Vtc.vih;
+           Alcotest.(check (float 0.)) "vdd" th.Vtc.vdd t.Vtc.vdd))
+
+let test_bin_no_thresholds () =
+  let name, design = Synthgen.generate ~seed:1 ~depth:3 ~tech ~cells:30 () in
+  temp_bin (fun path ->
+      Netlist_bin.write_file ~name design path;
+      match Netlist_bin.read_file tech path with
+      | Ok (_, _, None) -> ()
+      | Ok (_, _, Some _) -> Alcotest.fail "phantom thresholds"
+      | Error m -> Alcotest.fail m)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_bin_errors () =
+  temp_bin (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "NOPE this is not a binary netlist";
+      close_out oc;
+      Alcotest.(check bool) "not binary" false (Netlist_bin.file_is_binary path);
+      (match Netlist_bin.read_file tech path with
+       | Error m ->
+         Alcotest.(check bool) "mentions magic" true (contains m "magic")
+       | Ok _ -> Alcotest.fail "accepted garbage"));
+  (* truncation: drop the tail of a valid file *)
+  let name, design = Synthgen.generate ~seed:2 ~depth:3 ~tech ~cells:30 () in
+  temp_bin (fun path ->
+      Netlist_bin.write_file ~name design path;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 (String.length full / 2));
+      close_out oc;
+      match Netlist_bin.read_file tech path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted truncated file")
+
+(* ------------------------------------------------------------------ *)
+(* SoA vs reference-oracle bit-identity on generated designs           *)
+
+(* a synthetic-model factory with per-cell seed overrides so Touch_cell
+   ECOs re-characterize one instance (same shape as the bench's) *)
+let overriding_models () =
+  let overrides : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let cache = Memo_cache.create () in
+  let models (cell : Design.cell) =
+    let seed = Option.value (Hashtbl.find_opt overrides cell.Design.name) ~default:0 in
+    Memo_cache.find_or_compute cache (cell.Design.gate.Gate.name, seed)
+      (fun () -> Models.synthetic ~seed cell.Design.gate)
+  in
+  (overrides, models)
+
+let random_event rng =
+  {
+    Sta.time = Prng.float rng ~lo:0. ~hi:300e-12;
+    slew = Prng.float rng ~lo:150e-12 ~hi:600e-12;
+    edge = Measure.Fall;
+  }
+
+let test_soa_matches_reference mode () =
+  let th = { Vtc.vil = 1.9; vih = 3.1; vdd = 5. } in
+  let rng = Prng.create 0x50AL in
+  let _, design = Synthgen.generate ~seed:9 ~depth:8 ~tech ~cells:2000 () in
+  let overrides, models = overriding_models () in
+  let pi =
+    List.map
+      (fun net -> (net, random_event rng))
+      (Design.primary_inputs design)
+  in
+  let ir = Sta.build_ir ~mode ~models ~thresholds:th design ~pi in
+  ignore (Sta.reanalyze ir : Timing.stats);
+  Alcotest.(check bool) "fresh analyze agrees" true
+    (Reference.agrees (Sta.timing ir));
+  let pis = Array.of_list (Design.primary_inputs design) in
+  let cells = Array.of_list (Design.cells design) in
+  for t = 1 to 100 do
+    let eco =
+      match Prng.int rng ~lo:0 ~hi:9 with
+      | 0 | 1 | 2 | 3 | 4 | 5 ->
+        let net = pis.(Prng.int rng ~lo:0 ~hi:(Array.length pis - 1)) in
+        Sta.Set_pi (net, Some (random_event rng))
+      | 6 ->
+        (* silence one input entirely *)
+        let net = pis.(Prng.int rng ~lo:0 ~hi:(Array.length pis - 1)) in
+        Sta.Set_pi (net, None)
+      | _ ->
+        let c = cells.(Prng.int rng ~lo:0 ~hi:(Array.length cells - 1)) in
+        Hashtbl.replace overrides c.Design.name t;
+        Sta.Touch_cell c.Design.name
+    in
+    ignore (Sta.update ir [ eco ] : Timing.stats);
+    if not (Reference.agrees (Sta.timing ir)) then
+      Alcotest.failf "update #%d diverged from the reference oracle" t
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "synthgen",
+        [
+          Alcotest.test_case "shape and levelization" `Quick
+            test_synthgen_shape;
+          Alcotest.test_case "seed determinism" `Quick
+            test_synthgen_determinism;
+          Alcotest.test_case "parameter validation" `Quick
+            test_synthgen_validation;
+        ] );
+      ( "netlist_bin",
+        [
+          Alcotest.test_case "round-trip with thresholds" `Quick
+            test_bin_roundtrip;
+          Alcotest.test_case "round-trip without thresholds" `Quick
+            test_bin_no_thresholds;
+          Alcotest.test_case "corrupt and truncated input" `Quick
+            test_bin_errors;
+        ] );
+      ( "soa-vs-reference",
+        [
+          Alcotest.test_case "classic: analyze + 100 ECOs" `Quick
+            (test_soa_matches_reference Sta.Classic);
+          Alcotest.test_case "proximity: analyze + 100 ECOs" `Quick
+            (test_soa_matches_reference Sta.Proximity);
+        ] );
+    ]
