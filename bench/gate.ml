@@ -6,6 +6,7 @@
 
      gate.exe parallel    bench/baselines/parallel.json    BENCH_parallel.json
      gate.exe incremental bench/baselines/incremental.json BENCH_incremental.json
+     gate.exe sense       bench/baselines/sense.json       BENCH_sense.json
 
    Gated metrics are machine-independent where possible (speedup ratios,
    job counts, bit-identity); wall-clock-dependent floors are core-aware:
@@ -280,6 +281,54 @@ let gate_incremental baseline actual =
           (analyze <= max_analyze *. sslack))
     (list ~ctx "rows" sb)
 
+(* --- sense gate ------------------------------------------------------ *)
+
+let gate_sense baseline actual =
+  let ctx = "sense" in
+  let tolerance = num ~ctx "tolerance" baseline in
+  (* soundness and bit-identity are correctness properties: hard gates,
+     no tolerance band *)
+  check ~metric:"sense.sound" ~baseline:"true"
+    ~actual:(string_of_bool (boolean ~ctx "sound" actual))
+    (boolean ~ctx "sound" actual);
+  check ~metric:"sense.bit_identical" ~baseline:"true"
+    ~actual:(string_of_bool (boolean ~ctx "bit_identical" actual))
+    (boolean ~ctx "bit_identical" actual);
+  check ~metric:"sense.fused_strictly_best" ~baseline:"true"
+    ~actual:(string_of_bool (boolean ~ctx "fused_strictly_best" actual))
+    (boolean ~ctx "fused_strictly_best" actual);
+  let violations = int_of_float (num ~ctx "soundness_violations" actual) in
+  check ~metric:"sense.soundness_violations" ~baseline:"0"
+    ~actual:(string_of_int violations)
+    (violations = 0);
+  let min_draws = int_of_float (num ~ctx "min_soundness_draws" baseline) in
+  let draws = int_of_float (num ~ctx "soundness_draws" actual) in
+  check ~metric:"sense.soundness_draws"
+    ~baseline:(Printf.sprintf ">= %d" min_draws)
+    ~actual:(string_of_int draws)
+    (draws >= min_draws);
+  let min_checked = int_of_float (num ~ctx "min_designs_checked" baseline) in
+  let checked = int_of_float (num ~ctx "designs_checked" actual) in
+  check ~metric:"sense.designs_checked"
+    ~baseline:(Printf.sprintf ">= %d" min_checked)
+    ~actual:(string_of_int checked)
+    (checked >= min_checked);
+  let min_refined = int_of_float (num ~ctx "min_refined_pairs" baseline) in
+  let refined = int_of_float (num ~ctx "refined_pairs" actual) in
+  check ~metric:"sense.refined_pairs"
+    ~baseline:(Printf.sprintf ">= %d" min_refined)
+    ~actual:(string_of_int refined)
+    (refined >= min_refined);
+  (* the fused prune rate is a coverage ratio of two analyses of the
+     same netlist, machine-independent, but the random layer mix shifts
+     with the workload knobs — give it the tolerance band *)
+  let rate = num ~ctx "fused_rate" actual in
+  let floor = num ~ctx "min_fused_rate" baseline *. (1. -. tolerance) in
+  check ~metric:"sense.fused_rate"
+    ~baseline:(Printf.sprintf ">= %.3f" floor)
+    ~actual:(Printf.sprintf "%.4f" rate)
+    (rate >= floor)
+
 (* --------------------------------------------------------------------- *)
 
 let () =
@@ -289,7 +338,8 @@ let () =
     (match kind with
      | "parallel" -> gate_parallel baseline actual
      | "incremental" -> gate_incremental baseline actual
-     | k -> die "unknown kind %S (expected parallel or incremental)" k);
+     | "sense" -> gate_sense baseline actual
+     | k -> die "unknown kind %S (expected parallel, incremental or sense)" k);
     Printf.printf "bench gate: %s vs %s\n" actual_path baseline_path;
     print_table ();
     let failed =
@@ -301,5 +351,6 @@ let () =
     end
     else print_endline "gate: ok"
   | _ ->
-    prerr_endline "usage: gate.exe <parallel|incremental> <baseline.json> <actual.json>";
+    prerr_endline
+      "usage: gate.exe <parallel|incremental|sense> <baseline.json> <actual.json>";
     exit 2

@@ -31,6 +31,7 @@ module Timing = Proxim_timing.Timing
 module Graph = Proxim_timing.Graph
 module Design = Proxim_sta.Design
 module Sta = Proxim_sta.Sta
+module Prune = Proxim_sta.Prune
 module Synthgen = Proxim_sta.Synthgen
 module Reference = Proxim_timing.Reference
 module Obs_metrics = Proxim_obs.Metrics
@@ -1304,7 +1305,9 @@ let verify_bench () =
     (Stats.percentile times 50., Sta.report ir, Sta.pruned_evaluations ir)
   in
   let t_full, r_full, _ = run_trials None in
-  let t_pruned, r_pruned, pruned_evals = run_trials (Some prune) in
+  let t_pruned, r_pruned, pruned_evals =
+    run_trials (Some (Prune.make ~never_proximate:prune ()))
+  in
   let identical = report_bits_eq r_full r_pruned in
   let speedup = if t_pruned > 0. then t_full /. t_pruned else 1. in
   Pool.shutdown pool;
@@ -1480,7 +1483,9 @@ let hazard_bench () =
     (Stats.percentile times 50., Sta.report ir, Sta.pruned_evaluations ir)
   in
   let t_full, r_full, _ = run_trials None in
-  let t_pruned, r_pruned, pruned_evals = run_trials (Some mask) in
+  let t_pruned, r_pruned, pruned_evals =
+    run_trials (Some (Prune.make ~quiet:mask ()))
+  in
   let identical = report_bits_eq r_full r_pruned in
   if not identical then begin
     (* name the diverging nets and the quiet verdicts of their drivers *)
@@ -1576,6 +1581,400 @@ let hazard_bench () =
   Printf.printf "  wrote BENCH_hazard.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Static sensitization: ternary classification of a randomized design,
+   implication soundness against concrete two-frame simulation, the
+   May-to-Never refinement payoff and the fused prune engine.  Writes
+   BENCH_sense.json.                                                   *)
+
+module Sense = Proxim_sense.Sense
+module Netlist_text = Proxim_sta.Netlist_text
+
+(* exact two-frame boolean simulation of a whole design — the golden
+   reference the Unsensitizable verdicts are drawn against *)
+let sense_sim_frames design stim =
+  let g = Design.graph design in
+  let n = Graph.net_count g in
+  let init = Array.make n false and final = Array.make n false in
+  List.iter
+    (fun (net, (i0, f0)) ->
+      match Graph.net_id g net with
+      | Some id ->
+        init.(id) <- i0;
+        final.(id) <- f0
+      | None -> ())
+    stim;
+  Array.iter
+    (fun cid ->
+      let cell : Design.cell = Graph.payload g cid in
+      let ins = Graph.cell_inputs g cid in
+      let o = Graph.cell_output g cid in
+      init.(o) <-
+        Sense.eval_gate_bool cell.Design.gate (fun p -> init.(ins.(p)));
+      final.(o) <-
+        Sense.eval_gate_bool cell.Design.gate (fun p -> final.(ins.(p))))
+    (Graph.topological g);
+  fun net ->
+    let id = Option.get (Graph.net_id g net) in
+    init.(id) <> final.(id)
+
+(* draw random concrete assignments of the free PIs for every pair the
+   engine proved Unsensitizable; returns (draws, violations) *)
+let sense_soundness rng design s ~stim ~draws_per_pair =
+  let pis = Design.primary_inputs design in
+  let free = List.filter (fun n -> not (List.mem_assoc n stim)) pis in
+  let pinned =
+    List.filter_map
+      (fun (net, st) ->
+        match st with
+        | Sense.Switch Measure.Rise -> Some (net, (false, true))
+        | Sense.Switch Measure.Fall -> Some (net, (true, false))
+        | Sense.Const b -> Some (net, (b, b))
+        | Sense.Pulse -> None)
+      stim
+  in
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (cl : Design.cell) -> Hashtbl.replace by_name cl.Design.name cl)
+    (Design.cells design);
+  let checked = ref 0 and violations = ref 0 in
+  List.iter
+    (fun ci ->
+      let cell = Hashtbl.find by_name ci.Sense.sc_name in
+      List.iter
+        (fun p ->
+          match p.Sense.sp_decision with
+          | Sense.Unsensitizable _ ->
+            let na = cell.Design.input_nets.(p.Sense.sp_a) in
+            let nb = cell.Design.input_nets.(p.Sense.sp_b) in
+            for _ = 1 to draws_per_pair do
+              incr checked;
+              let assignment =
+                pinned
+                @ List.map
+                    (fun net ->
+                      let b = Prng.int rng ~lo:0 ~hi:1 = 1 in
+                      (net, (b, b)))
+                    free
+              in
+              let changed = sense_sim_frames design assignment in
+              if changed na && changed nb then incr violations
+            done
+          | _ -> ())
+        ci.Sense.sc_pairs)
+    (Sense.cells s);
+  (!checked, !violations)
+
+let sense_bench () =
+  let c = Lazy.force ctx in
+  section "Static sensitization: implication engine and the fused prune mask";
+  let depth = 4 and width = if !quick then 30 else 80 in
+  let rng = Prng.create 0x5E45E1L in
+  let base = random_layered_design rng ~tech:c.tech ~depth ~width in
+  let nand2 = Gate.nand c.tech ~fan_in:2 in
+  let inverter = Gate.inverter c.tech in
+  (* graft witness structures so each prune source provably contributes
+     something the others miss (the strictness half of the gate):
+     - gassist: two falling inputs separated just past the exact
+       dominance window — the point-event verification proves the cell
+       Never-proximate, but the hazard pass sees +/-40 ps placement
+       windows, cannot re-prove dominance, and keeps it out of the
+       quiet mask; both pins carry events, so the sense mask keeps it
+       too.  Only the never-proximate source prunes it.
+     - ghalf: one switching, one quiet input — the quiet and sense masks
+       cover it, the interval verification never classifies it;
+     - gfar: two rising inputs 50 ns apart — a gating (latest-wins)
+       input group that no mask may touch, keeping the denominators
+       honest;
+     - gr1..gr4: the a/q reconvergence whose gr4 pair the implication
+       engine proves unsensitizable — the May-to-Never conversion and a
+       guaranteed soundness-draw target. *)
+  let gadget_cells =
+    [
+      { Design.name = "gassist"; gate = nand2;
+        input_nets = [| "gas_a"; "gas_b" |]; output_net = "gas_z" };
+      { Design.name = "gfar"; gate = nand2;
+        input_nets = [| "gfar_a"; "gfar_b" |]; output_net = "gfar_z" };
+      { Design.name = "ghalf"; gate = nand2;
+        input_nets = [| "ghalf_a"; "ghalf_b" |]; output_net = "ghalf_z" };
+      { Design.name = "gr1"; gate = inverter; input_nets = [| "gq" |];
+        output_net = "gqn" };
+      { Design.name = "gr2"; gate = nand2; input_nets = [| "ga"; "gq" |];
+        output_net = "gx1" };
+      { Design.name = "gr3"; gate = nand2; input_nets = [| "ga"; "gqn" |];
+        output_net = "gx2" };
+      { Design.name = "gr4"; gate = nand2; input_nets = [| "gx1"; "gx2" |];
+        output_net = "gr_z" };
+    ]
+  in
+  let design =
+    Design.create
+      ~cells:(Design.cells base @ gadget_cells)
+      ~primary_inputs:
+        (Design.primary_inputs base
+        @ [ "gas_a"; "gas_b"; "gfar_a"; "gfar_b"; "ghalf_a"; "ghalf_b";
+            "gq"; "ga" ])
+      ~primary_outputs:
+        (Design.primary_outputs base
+        @ [ "gas_z"; "gfar_z"; "ghalf_z"; "gr_z" ])
+  in
+  let n_cells = List.length (Design.cells design) in
+  let factory = Sta.synthetic_factory () in
+  let models = factory.Sta.models in
+  let ev ?(edge = Measure.Fall) ?slew net time =
+    let slew =
+      match slew with
+      | Some s -> s
+      | None -> Prng.float rng ~lo:150e-12 ~hi:600e-12
+    in
+    (net, { Sta.time; slew; edge })
+  in
+  (* gassist pin separation: just past the exact single-input response
+     window (d1 + t1 at the pin-0 slew), so the degenerate-interval
+     verification proves dominance while the +/-40 ps hazard windows
+     leave a gap strictly inside the window and dominance fails there *)
+  let gas_slew = 300e-12 in
+  let gas_sep =
+    let cell =
+      List.find (fun c0 -> c0.Design.name = "gassist") (Design.cells design)
+    in
+    let m = models cell in
+    let _, d_hi =
+      Models.delay1_bounds m ~pin:0 ~edge:Measure.Fall
+        ~tau:(gas_slew, gas_slew)
+    in
+    let _, t_hi =
+      Models.trans1_bounds m ~pin:0 ~edge:Measure.Fall
+        ~tau:(gas_slew, gas_slew)
+    in
+    (1.02 *. (d_hi +. t_hi)) +. 10e-12
+  in
+  let pi =
+    List.filter_map
+      (fun net ->
+        if Prng.int rng ~lo:0 ~hi:1 = 0 then None
+        else Some (ev net (Prng.float rng ~lo:0. ~hi:800e-12)))
+      (Design.primary_inputs base)
+    @ [ ev ~slew:gas_slew "gas_a" 0.; ev ~slew:gas_slew "gas_b" gas_sep;
+        ev ~edge:Measure.Rise "gfar_a" 0.;
+        ev ~edge:Measure.Rise "gfar_b" 50e-9; ev "ghalf_a" 100e-12;
+        ev "ga" 100e-12 ]
+  in
+  let stim_of pi =
+    List.map (fun (n, (a : Sta.arrival)) -> (n, Sense.Switch a.Sta.edge)) pi
+  in
+  let events = List.map Verify.of_sta_event pi in
+  (* the hazard pass gets placement/slew windows around the same events:
+     sound for the point stimulus, but deliberately too coarse to
+     re-prove gassist's dominance *)
+  let events_h =
+    List.map
+      (Verify.of_sta_event ~time_window:40e-12 ~tau_window:20e-12)
+      pi
+  in
+  let stim = stim_of pi in
+  let t0 = Unix.gettimeofday () in
+  let s = Sense.analyze design ~pi:stim in
+  let analyze_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+  let sum = Sense.summary s in
+  Printf.printf
+    "  design: %d cells (+7 grafted witnesses), %d switching of %d primary \
+     inputs, sensitization pass %.3f ms\n"
+    n_cells (List.length pi)
+    (List.length (Design.primary_inputs design))
+    analyze_ms;
+  Printf.printf
+    "  classification: %d cells / %d pairs — %d sensitizable, %d \
+     unsensitizable, %d exhausted; %d derived constants, %d false-path \
+     cells\n"
+    sum.Sense.classified_cells sum.Sense.pairs sum.Sense.sensitizable
+    sum.Sense.unsensitizable sum.Sense.exhausted sum.Sense.constant_nets
+    sum.Sense.false_path_cells;
+  (* May-to-Never conversion through the interval verification *)
+  let v = Verify.analyze ~models ~thresholds:c.th design ~pi:events in
+  let h = Hazard.analyze ~models ~thresholds:c.th design ~pi:events_h in
+  let before = Verify.summary v in
+  let v', refd = Verify.refine v ~unsensitizable:(Sense.pair_unsensitizable s) in
+  let after = Verify.summary v' in
+  Printf.printf
+    "  refinement: %d pairs / %d cells converted May-to-Never (may %d -> \
+     %d)\n"
+    refd.Verify.refined_pairs refd.Verify.refined_cells before.Verify.may
+    after.Verify.may;
+  (* soundness: concrete two-frame draws against every proven pair; the
+     per-pair count adapts so the total always clears the gate's floor *)
+  let draw_rng = Prng.create 0xD4A15L in
+  let n_unsens = sum.Sense.unsensitizable in
+  let draws_per_pair = max 20 (200 / max 1 n_unsens) in
+  let draws, violations =
+    sense_soundness draw_rng design s ~stim ~draws_per_pair
+  in
+  (* the prune masks, solo and fused *)
+  let cells = Design.cells design in
+  let count mask = List.length (List.filter mask cells) in
+  let n_sense = count (Sense.prune_mask s) in
+  let n_quiet = count (Hazard.quiet_mask h) in
+  let n_never = count (Verify.prune_mask v) in
+  let fused_of () =
+    Prune.make
+      ~unsensitizable:(Sense.prune_mask s)
+      ~quiet:(Hazard.quiet_mask h)
+      ~never_proximate:(Verify.prune_mask v)
+      ()
+  in
+  let n_fused = count (Prune.member (fused_of ())) in
+  let strictly_best =
+    n_fused > n_sense && n_fused > n_quiet && n_fused > n_never
+  in
+  let pct n = 100. *. float_of_int n /. float_of_int n_cells in
+  Printf.printf
+    "  prune masks: unsensitizable %d (%.1f%%), quiet %d (%.1f%%), \
+     never-proximate %d (%.1f%%), fused %d (%.1f%%)%s\n"
+    n_sense (pct n_sense) n_quiet (pct n_quiet) n_never (pct n_never) n_fused
+    (pct n_fused)
+    (if strictly_best then " — fused strictly widest" else " — NOT strict");
+  (* bit-identity and wall-clock payoff on the main design *)
+  let pool = Pool.create ~domains:1 in
+  let run_trials prune_opt =
+    let n = if !quick then 5 else 20 in
+    let times = Array.make n 0. in
+    let ir =
+      Sta.build_ir ~mode:Sta.Proximity ?prune:prune_opt ~models
+        ~thresholds:c.th design ~pi
+    in
+    for t = 0 to n - 1 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sta.reanalyze ~pool ir);
+      times.(t) <- Unix.gettimeofday () -. t0
+    done;
+    (Stats.percentile times 50., Sta.report ir, Sta.pruned_evaluations ir)
+  in
+  let t_full, r_full, _ = run_trials None in
+  let fused = fused_of () in
+  let t_fused, r_fused, fused_evals = run_trials (Some fused) in
+  let counts = Prune.counts fused in
+  let identical = ref (report_bits_eq r_full r_fused) in
+  let designs_checked = ref 1 in
+  (* ... and across independent random designs and every example netlist *)
+  let check_design design pi =
+    let events = List.map Verify.of_sta_event pi in
+    let v = Verify.analyze ~models ~thresholds:c.th design ~pi:events in
+    let h = Hazard.analyze ~models ~thresholds:c.th design ~pi:events in
+    let s = Sense.analyze design ~pi:(stim_of pi) in
+    let fused =
+      Prune.make
+        ~unsensitizable:(Sense.prune_mask s)
+        ~quiet:(Hazard.quiet_mask h)
+        ~never_proximate:(Verify.prune_mask v)
+        ()
+    in
+    let run prune_opt =
+      let ir =
+        Sta.build_ir ~mode:Sta.Proximity ?prune:prune_opt ~models
+          ~thresholds:c.th design ~pi
+      in
+      ignore (Sta.reanalyze ~pool ir);
+      Sta.report ir
+    in
+    let full = run None in
+    let pruned = run (Some fused) in
+    incr designs_checked;
+    if not (report_bits_eq full pruned) then identical := false
+  in
+  for _ = 1 to 10 do
+    let d = random_layered_design rng ~tech:c.tech ~depth:3 ~width:20 in
+    let pi =
+      List.filter_map
+        (fun net ->
+          if Prng.int rng ~lo:0 ~hi:1 = 0 then None
+          else Some (ev net (Prng.float rng ~lo:0. ~hi:800e-12)))
+        (Design.primary_inputs d)
+    in
+    check_design d pi
+  done;
+  List.iter
+    (fun file ->
+      if Sys.file_exists file then
+        match Netlist_text.parse_file c.tech file with
+        | Error _ -> () (* lint fodder; not a loadable design *)
+        | Ok (_, d) ->
+          (* an all-input stimulus when the reconvergence parities allow
+             it, else one event per run — the single-vector STA refuses
+             to order mixed edges at a cell *)
+          let all =
+            List.mapi
+              (fun i net -> ev net (float_of_int i *. 50e-12))
+              (Design.primary_inputs d)
+          in
+          (try check_design d all
+           with Sta.Mixed_input_edges _ ->
+             List.iter
+               (fun e ->
+                 try check_design d [ e ] with Sta.Mixed_input_edges _ -> ())
+               all))
+    [
+      "examples/carry_tree.ntl"; "examples/hazard_demo.ntl";
+      "examples/lint_demo.ntl"; "examples/sense_demo.ntl";
+      "examples/verify_demo.ntl";
+    ];
+  Pool.shutdown pool;
+  let speedup = if t_fused > 0. then t_full /. t_fused else 1. in
+  let sound = violations = 0 in
+  Printf.printf
+    "  SENSE SUMMARY: %d soundness draws (%d violations), %d designs \
+     bit-checked, %d evaluations fast-pathed per pass (%d/%d/%d by source), \
+     full %.3f ms vs fused %.3f ms (%.2fx), reports %s\n"
+    draws violations !designs_checked
+    (fused_evals / (if !quick then 5 else 20))
+    counts.Prune.unsensitizable counts.Prune.quiet counts.Prune.never_proximate
+    (1e3 *. t_full) (1e3 *. t_fused) speedup
+    (if !identical then "bit-identical" else "DIFFER");
+  let oc = open_out "BENCH_sense.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"static sensitization of a random layered design \
+     with grafted witness structures, synthetic models\",\n\
+    \  \"quick\": %b,\n\
+    \  \"cells\": %d,\n\
+    \  \"classified_cells\": %d,\n\
+    \  \"pairs\": %d,\n\
+    \  \"sensitizable\": %d,\n\
+    \  \"unsensitizable\": %d,\n\
+    \  \"exhausted\": %d,\n\
+    \  \"constant_nets\": %d,\n\
+    \  \"false_path_cells\": %d,\n\
+    \  \"analyze_ms\": %.4f,\n\
+    \  \"refined_pairs\": %d,\n\
+    \  \"refined_cells\": %d,\n\
+    \  \"may_before\": %d,\n\
+    \  \"may_after\": %d,\n\
+    \  \"soundness_draws\": %d,\n\
+    \  \"soundness_violations\": %d,\n\
+    \  \"sound\": %b,\n\
+    \  \"sense_cells\": %d,\n\
+    \  \"quiet_cells\": %d,\n\
+    \  \"never_cells\": %d,\n\
+    \  \"fused_cells\": %d,\n\
+    \  \"fused_rate\": %.4f,\n\
+    \  \"fused_strictly_best\": %b,\n\
+    \  \"designs_checked\": %d,\n\
+    \  \"bit_identical\": %b,\n\
+    \  \"full_median_ms\": %.4f,\n\
+    \  \"fused_median_ms\": %.4f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"metrics\": %s\n\
+     }\n"
+    !quick n_cells sum.Sense.classified_cells sum.Sense.pairs
+    sum.Sense.sensitizable sum.Sense.unsensitizable sum.Sense.exhausted
+    sum.Sense.constant_nets sum.Sense.false_path_cells analyze_ms
+    refd.Verify.refined_pairs refd.Verify.refined_cells before.Verify.may
+    after.Verify.may draws violations sound n_sense n_quiet n_never n_fused
+    (float_of_int n_fused /. float_of_int n_cells)
+    strictly_best !designs_checked !identical (1e3 *. t_full)
+    (1e3 *. t_fused) speedup (metrics_json ());
+  close_out oc;
+  Printf.printf "  wrote BENCH_sense.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1596,6 +1995,7 @@ let experiments =
     ("incremental_bench", incremental_bench);
     ("verify_bench", verify_bench);
     ("hazard_bench", hazard_bench);
+    ("sense_bench", sense_bench);
   ]
 
 (* ablation_correction shares its output with table5_1; avoid printing it

@@ -255,7 +255,24 @@ let print_code_table () =
     Diagnostic.all_codes;
   0
 
+(* a binary (PXNB) netlist has no raw text form for the line-numbered
+   passes; re-render the decoded design to the text format and lint
+   that, so the same structural checks apply to both encodings (line
+   numbers then refer to the canonical rendering) *)
+let lint_binary ~fanout_limit file =
+  match Proxim_sta.Netlist_bin.read_file Tech.generic_5v file with
+  | Error m -> [ Diagnostic.make ~file PX100 "unreadable binary netlist: %s" m ]
+  | Ok (name, design, _th) ->
+    let options = { Netlist_lint.fanout_limit } in
+    Netlist_lint.check_text ~options ~file Tech.generic_5v
+      (Proxim_sta.Netlist_text.to_string ~name design)
+
 let lint_file ~fanout_limit file =
+  if
+    try Proxim_sta.Netlist_bin.file_is_binary file
+    with Sys_error _ -> false
+  then lint_binary ~fanout_limit file
+  else
   match In_channel.with_open_text file In_channel.input_all with
   | exception Sys_error m -> [ Diagnostic.make ~file PX100 "%s" m ]
   | text ->
@@ -271,6 +288,20 @@ let lint_file ~fanout_limit file =
       let options = { Netlist_lint.fanout_limit } in
       Netlist_lint.check_text ~options ~file Tech.generic_5v text
 
+(* case-insensitive shell-style glob: [*] any run, [?] one character *)
+let glob_match pat name =
+  let np = String.length pat and nn = String.length name in
+  let eq a b = Char.uppercase_ascii a = Char.uppercase_ascii b in
+  let rec go i j =
+    if i = np then j = nn
+    else
+      match pat.[i] with
+      | '*' -> go (i + 1) j || (j < nn && go i (j + 1))
+      | '?' -> j < nn && go (i + 1) (j + 1)
+      | c -> j < nn && eq c name.[j] && go (i + 1) (j + 1)
+  in
+  go 0 0
+
 let parse_code_filter s =
   let names =
     String.split_on_char ',' s |> List.map String.trim
@@ -278,10 +309,21 @@ let parse_code_filter s =
   in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
-    | n :: tl -> (
-      match Diagnostic.code_of_name n with
-      | Some c -> go (c :: acc) tl
-      | None -> Error (`Msg (Printf.sprintf "unknown diagnostic code %s" n)))
+    | n :: tl ->
+      if String.contains n '*' || String.contains n '?' then (
+        match
+          List.filter
+            (fun c -> glob_match n (Diagnostic.code_name c))
+            Diagnostic.all_codes
+        with
+        | [] ->
+          Error
+            (`Msg (Printf.sprintf "code pattern %s matches no diagnostic" n))
+        | cs -> go (List.rev_append cs acc) tl)
+      else (
+        match Diagnostic.code_of_name n with
+        | Some c -> go (c :: acc) tl
+        | None -> Error (`Msg (Printf.sprintf "unknown diagnostic code %s" n)))
   in
   go [] names
 
@@ -330,6 +372,7 @@ let run_lint files format fail_on fanout_limit codes =
 (* sta                                                                 *)
 
 module Sta = Proxim_sta.Sta
+module Prune = Proxim_sta.Prune
 module Design = Proxim_sta.Design
 module Netlist_text = Proxim_sta.Netlist_text
 module Netlist_bin = Proxim_sta.Netlist_bin
@@ -431,12 +474,13 @@ let apply_eco_to_pi pi = function
 
 module Verify = Proxim_verify.Verify
 module Interval = Proxim_verify.Interval
+module Sense = Proxim_sense.Sense
 
 (* The prune mask must stay sound for the initial analysis AND every
    post-ECO re-analysis, so verify over interval events hulling both
    configurations.  Any structural change to the event set (a PI
    silenced, added, or edge-flipped) falls back to no pruning. *)
-let sta_prune_mask ~models ~thresholds design ~pi ~ecos =
+let sta_prune_mask ?(sense = false) ~models ~thresholds design ~pi ~ecos () =
   let pi' = List.fold_left apply_eco_to_pi pi ecos in
   let nets l = List.sort compare (List.map fst l) in
   let compatible =
@@ -491,7 +535,27 @@ let sta_prune_mask ~models ~thresholds design ~pi ~ecos =
             (Proxim_hazard.Hazard.cells h)))
       hs.Proxim_hazard.Hazard.classified;
     let vm = Verify.prune_mask v and hm = Proxim_hazard.Hazard.quiet_mask h in
-    Some (fun c -> vm c || hm c)
+    (* the sensitization mask covers cells where at most one event can
+       structurally arrive; its activity depends only on which nets
+       switch, so the edge-compatibility check above keeps it sound
+       across the ECOs too *)
+    let sm =
+      if not sense then None
+      else begin
+        let stim =
+          List.map
+            (fun (n, (a : Sta.arrival)) -> (n, Sense.Switch a.Sta.edge))
+            pi
+        in
+        let s = Sense.analyze design ~pi:stim in
+        let ss = Sense.summary s in
+        Printf.printf
+          "sensitization: %d of %d cells structurally quiet\n"
+          ss.Sense.prunable_cells ss.Sense.total_cells;
+        Some (Sense.prune_mask s)
+      end
+    in
+    Some (Prune.make ?unsensitizable:sm ~quiet:hm ~never_proximate:vm ())
   end
 
 (* one loader for both netlist encodings: route on the magic bytes, not
@@ -511,7 +575,7 @@ let load_design tech file =
         (Netlist_text.parse tech text)
 
 let run_sta file pi_specs pi_all_spec mode models_kind paths_k required_ps
-    eco_specs verify_eco no_prune summary =
+    eco_specs verify_eco no_prune sense summary =
   let tech = Tech.generic_5v in
   match load_design tech file with
   | Error m ->
@@ -569,8 +633,8 @@ let run_sta file pi_specs pi_all_spec mode models_kind paths_k required_ps
           let prune =
             if no_prune || mode <> Sta.Proximity then None
             else
-              sta_prune_mask ~models:factory.Sta.models ~thresholds:th design
-                ~pi ~ecos
+              sta_prune_mask ~sense ~models:factory.Sta.models ~thresholds:th
+                design ~pi ~ecos ()
           in
           let ir =
             Sta.build_ir ~mode ?prune ~models:factory.Sta.models
@@ -638,11 +702,14 @@ let run_sta file pi_specs pi_all_spec mode models_kind paths_k required_ps
           in
           (match prune with
            | None -> ()
-           | Some _ ->
+           | Some p ->
+             let c = Prune.counts p in
              Printf.printf
-               "proximity pruning: %d cell evaluations took the \
-                never-proximate fast path\n"
-               (Sta.pruned_evaluations ir));
+               "proximity pruning: %d cell evaluations took the fast path \
+                (%d unsensitizable, %d quiet, %d never-proximate)\n"
+               (Sta.pruned_evaluations ir)
+               c.Prune.unsensitizable c.Prune.quiet
+               c.Prune.never_proximate);
           let cs = factory.Sta.factory_stats () in
           Printf.printf
             "model cache: %d hits, %d misses, %d waits, %d entries\n"
@@ -655,10 +722,10 @@ let run_sta file pi_specs pi_all_spec mode models_kind paths_k required_ps
    internal failure — report it like a lint error (exit 2) instead of
    escaping as a raw exception with a backtrace. *)
 let run_sta file pi_specs pi_all mode models_kind paths_k required_ps
-    eco_specs verify_eco no_prune summary =
+    eco_specs verify_eco no_prune sense summary =
   try
     run_sta file pi_specs pi_all mode models_kind paths_k required_ps
-      eco_specs verify_eco no_prune summary
+      eco_specs verify_eco no_prune sense summary
   with Sta.Unknown_eco_target { kind; name } ->
     Printf.eprintf "proxim sta: error: --eco refers to unknown %s %s\n" kind
       name;
@@ -884,44 +951,41 @@ let window_net_names windows =
   List.filter_map (function `Net (n, _) -> Some n | `Global _ -> None) windows
 
 let run_verify file pi_specs window_specs tau_window_ps mode models_kind
-    format fail_on codes_filter =
+    format fail_on codes_filter sense =
   let tech = Tech.generic_5v in
-  match In_channel.with_open_text file In_channel.input_all with
+  match load_design tech file with
   | exception Sys_error m ->
     prerr_endline m;
     1
-  | text -> (
-    match Netlist_text.parse tech text with
-    | Error m ->
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok (name, design, file_th) -> (
+    match
+      ( parse_all parse_pi_spec [] pi_specs,
+        parse_all parse_window_spec [] window_specs,
+        resolve_code_filter codes_filter )
+    with
+    | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
       prerr_endline m;
-      1
-    | Ok (name, design) -> (
-      match
-        ( parse_all parse_pi_spec [] pi_specs,
-          parse_all parse_window_spec [] window_specs,
-          resolve_code_filter codes_filter )
-      with
-      | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
-        prerr_endline m;
-        2
-      | _, _, Ok `Table -> print_code_table ()
-      | Ok [], _, _ ->
-        prerr_endline "proxim verify: need at least one --pi event";
-        2
-      | Ok pi, Ok windows, Ok codes ->
-        Verify.validate_window_nets design (window_net_names windows);
-        let raw = Netlist_text.parse_raw tech text in
-        let th =
-          match raw.Netlist_text.raw_thresholds with
-          | Some (th, _) -> th
-          | None -> (
-            match Design.cells design with
-            | c :: _ -> Vtc.thresholds c.Design.gate
-            | [] -> (
-              match Gate.of_name tech "inv" with
-              | Ok g -> Vtc.thresholds g
-              | Error m -> failwith m))
-        in
+      2
+    | _, _, Ok `Table -> print_code_table ()
+    | Ok [], _, _ ->
+      prerr_endline "proxim verify: need at least one --pi event";
+      2
+    | Ok pi, Ok windows, Ok codes ->
+      Verify.validate_window_nets design (window_net_names windows);
+      let th =
+        match file_th with
+        | Some th -> th
+        | None -> (
+          match Design.cells design with
+          | c :: _ -> Vtc.thresholds c.Design.gate
+          | [] -> (
+            match Gate.of_name tech "inv" with
+            | Ok g -> Vtc.thresholds g
+            | Error m -> failwith m))
+      in
         let global =
           List.fold_left
             (fun acc -> function `Global w -> w | `Net _ -> acc)
@@ -951,6 +1015,16 @@ let run_verify file pi_specs window_specs tau_window_ps mode models_kind
           Verify.analyze ~mode ~models:factory.Sta.models ~thresholds:th
             design ~pi:events
         in
+        let v, refinement =
+          if not sense then (v, None)
+          else begin
+            let s = Sense.analyze design ~pi:(Sense.stimuli_of_events events) in
+            let v, r =
+              Verify.refine v ~unsensitizable:(Sense.pair_unsensitizable s)
+            in
+            (v, Some r)
+          end
+        in
         let diags = apply_code_filter codes (Verify.check ~file v) in
         (match format with
          | `Text ->
@@ -960,17 +1034,24 @@ let run_verify file pi_specs window_specs tau_window_ps mode models_kind
               always-proximate %d, may-be-proximate %d\n"
              name s.Verify.total_cells s.Verify.switching_cells s.Verify.never
              s.Verify.always s.Verify.may;
+           (match refinement with
+            | None -> ()
+            | Some (r : Verify.refinement) ->
+              Printf.printf
+                "sensitization refinement: %d pairs and %d cells converted \
+                 to never-proximate\n"
+                r.Verify.refined_pairs r.Verify.refined_cells);
            print_string (Diagnostic.report_text diags)
          | `Json | `Sarif -> print_report format diags);
-        Diagnostic.exit_code ~fail_on diags))
+        Diagnostic.exit_code ~fail_on diags)
 
 (* CLI boundary: a typo'd --pi-window net name is a usage error (exit 2),
    not a crash *)
 let run_verify file pi_specs window_specs tau_window_ps mode models_kind
-    format fail_on codes_filter =
+    format fail_on codes_filter sense =
   try
     run_verify file pi_specs window_specs tau_window_ps mode models_kind
-      format fail_on codes_filter
+      format fail_on codes_filter sense
   with Verify.Unknown_window_net { net } ->
     Printf.eprintf
       "proxim verify: error: --pi-window names %s, which is not a primary \
@@ -984,44 +1065,41 @@ let run_verify file pi_specs window_specs tau_window_ps mode models_kind
 module Hazard = Proxim_hazard.Hazard
 
 let run_hazards file pi_specs window_specs tau_window_ps mode models_kind
-    filter_margin_ps required_ps format fail_on codes_filter =
+    filter_margin_ps required_ps format fail_on codes_filter sense =
   let tech = Tech.generic_5v in
-  match In_channel.with_open_text file In_channel.input_all with
+  match load_design tech file with
   | exception Sys_error m ->
     prerr_endline m;
     1
-  | text -> (
-    match Netlist_text.parse tech text with
-    | Error m ->
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok (name, design, file_th) -> (
+    match
+      ( parse_all parse_pi_spec [] pi_specs,
+        parse_all parse_window_spec [] window_specs,
+        resolve_code_filter codes_filter )
+    with
+    | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
       prerr_endline m;
-      1
-    | Ok (name, design) -> (
-      match
-        ( parse_all parse_pi_spec [] pi_specs,
-          parse_all parse_window_spec [] window_specs,
-          resolve_code_filter codes_filter )
-      with
-      | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
-        prerr_endline m;
-        2
-      | _, _, Ok `Table -> print_code_table ()
-      | Ok [], _, _ ->
-        prerr_endline "proxim hazards: need at least one --pi event";
-        2
-      | Ok pi, Ok windows, Ok codes ->
-        Verify.validate_window_nets design (window_net_names windows);
-        let raw = Netlist_text.parse_raw tech text in
-        let th =
-          match raw.Netlist_text.raw_thresholds with
-          | Some (th, _) -> th
-          | None -> (
-            match Design.cells design with
-            | c :: _ -> Vtc.thresholds c.Design.gate
-            | [] -> (
-              match Gate.of_name tech "inv" with
-              | Ok g -> Vtc.thresholds g
-              | Error m -> failwith m))
-        in
+      2
+    | _, _, Ok `Table -> print_code_table ()
+    | Ok [], _, _ ->
+      prerr_endline "proxim hazards: need at least one --pi event";
+      2
+    | Ok pi, Ok windows, Ok codes ->
+      Verify.validate_window_nets design (window_net_names windows);
+      let th =
+        match file_th with
+        | Some th -> th
+        | None -> (
+          match Design.cells design with
+          | c :: _ -> Vtc.thresholds c.Design.gate
+          | [] -> (
+            match Gate.of_name tech "inv" with
+            | Ok g -> Vtc.thresholds g
+            | Error m -> failwith m))
+      in
         let global =
           List.fold_left
             (fun acc -> function `Global w -> w | `Net _ -> acc)
@@ -1058,25 +1136,104 @@ let run_hazards file pi_specs window_specs tau_window_ps mode models_kind
             ?required:(Option.map (fun r -> r *. 1e-12) required_ps)
             ~rule ~models:factory.Sta.models ~thresholds:th design ~pi:events
         in
+        let h, refinement =
+          if not sense then (h, None)
+          else begin
+            let s = Sense.analyze design ~pi:(Sense.stimuli_of_events events) in
+            let h, r =
+              Hazard.refine h ~impossible:(Sense.pair_unsensitizable s)
+            in
+            (h, Some r)
+          end
+        in
         let diags = apply_code_filter codes (Hazard.check ~file h) in
         (match format with
          | `Text ->
            Printf.printf "design %s: %s" name (Hazard.report_text h);
+           (match refinement with
+            | None -> ()
+            | Some (r : Hazard.refinement) ->
+              Printf.printf
+                "sensitization refinement: %d impossible pairs dropped, %d \
+                 cells demoted\n"
+                r.Hazard.refined_pairs r.Hazard.refined_cells);
            print_string (Diagnostic.report_text diags)
          | `Json | `Sarif -> print_report format diags);
-        Diagnostic.exit_code ~fail_on diags))
+        Diagnostic.exit_code ~fail_on diags)
 
 let run_hazards file pi_specs window_specs tau_window_ps mode models_kind
-    filter_margin_ps required_ps format fail_on codes_filter =
+    filter_margin_ps required_ps format fail_on codes_filter sense =
   try
     run_hazards file pi_specs window_specs tau_window_ps mode models_kind
-      filter_margin_ps required_ps format fail_on codes_filter
+      filter_margin_ps required_ps format fail_on codes_filter sense
   with Verify.Unknown_window_net { net } ->
     Printf.eprintf
       "proxim hazards: error: --pi-window names %s, which is not a primary \
        input of the design\n"
       net;
     2
+
+(* ------------------------------------------------------------------ *)
+(* sense                                                               *)
+
+let parse_const_spec s =
+  match String.index_opt s '=' with
+  | Some i when i > 0 && i = String.length s - 2 -> (
+    let net = String.sub s 0 i in
+    match s.[i + 1] with
+    | '0' -> Ok (net, false)
+    | '1' -> Ok (net, true)
+    | _ -> Error (`Msg (Printf.sprintf "bad --const %s (expected NET=0|1)" s)))
+  | _ -> Error (`Msg (Printf.sprintf "bad --const %s (expected NET=0|1)" s))
+
+let run_sense file pi_specs const_specs budget max_support format fail_on
+    codes_filter =
+  let tech = Tech.generic_5v in
+  match load_design tech file with
+  | exception Sys_error m ->
+    prerr_endline m;
+    1
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok (name, design, _file_th) -> (
+    match
+      ( parse_all parse_pi_spec [] pi_specs,
+        parse_all parse_const_spec [] const_specs,
+        resolve_code_filter codes_filter )
+    with
+    | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
+      prerr_endline m;
+      2
+    | _, _, Ok `Table -> print_code_table ()
+    | Ok pi, Ok consts, Ok codes -> (
+      if budget < 1 then begin
+        prerr_endline "proxim sense: --budget must be >= 1";
+        2
+      end
+      else if max_support < 0 then begin
+        prerr_endline "proxim sense: --support must be >= 0";
+        2
+      end
+      else
+        let events = List.map (Verify.of_sta_event ?time_window:None) pi in
+        match Sense.stimuli_of_events ~consts events with
+        | exception Invalid_argument m ->
+          prerr_endline ("proxim sense: " ^ m);
+          2
+        | stim -> (
+          match Sense.analyze ~budget ~max_support design ~pi:stim with
+          | exception Invalid_argument m ->
+            prerr_endline ("proxim sense: " ^ m);
+            2
+          | s ->
+            let diags = apply_code_filter codes (Sense.check ~file s) in
+            (match format with
+             | `Text ->
+               Printf.printf "design %s: %s" name (Sense.report_text s);
+               print_string (Diagnostic.report_text diags)
+             | `Json | `Sarif -> print_report format diags);
+            Diagnostic.exit_code ~fail_on diags)))
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
@@ -1250,9 +1407,9 @@ let lint_cmd =
       & info [ "codes" ] ~docv:"CODES"
           ~doc:
             "Without a value, print the diagnostic-code table and exit. \
-             With a comma-separated list (e.g. PX101,PX112), keep only \
-             those codes — the filter applies before --fail-on computes \
-             the exit status.")
+             With a comma-separated list of codes or glob patterns (e.g. \
+             PX101,PX112 or PX1*,PX30?), keep only those codes — the \
+             filter applies before --fail-on computes the exit status.")
   in
   Cmd.v
     (Cmd.info "lint"
@@ -1358,6 +1515,15 @@ let sta_cmd =
              not already named by a --pi option — the practical way to \
              drive generated designs with thousands of inputs.")
   in
+  let sense =
+    Arg.(
+      value & flag
+      & info [ "sense" ]
+          ~doc:
+            "Add the static-sensitization mask (cells where at most one \
+             event can structurally arrive) to the fused prune engine \
+             alongside the never-proximate and quiet masks.")
+  in
   let summary =
     Arg.(
       value & flag
@@ -1372,10 +1538,10 @@ let sta_cmd =
          "Static timing analysis of a netlist (text or binary): arrivals, \
           K-worst paths, slacks, incremental (ECO) re-analysis")
     Term.(
-      const (fun () obs f p pa m k pk r e v np s ->
-          finish_obs obs (run_sta f p pa m k pk r e v np s))
+      const (fun () obs f p pa m k pk r e v np sn s ->
+          finish_obs obs (run_sta f p pa m k pk r e v np sn s))
       $ domains_setup $ obs_setup $ file $ pi $ pi_all $ mode $ models
-      $ paths $ required $ eco $ verify_eco $ no_prune $ summary)
+      $ paths $ required $ eco $ verify_eco $ no_prune $ sense $ summary)
 
 let verify_cmd =
   let file =
@@ -1453,9 +1619,19 @@ let verify_cmd =
       & opt ~vopt:(Some "") (some string) None
       & info [ "codes" ] ~docv:"CODES"
           ~doc:
-            "Comma-separated diagnostic codes to keep (e.g. PX301,PX304); \
-             everything else is dropped from the report and the exit \
-             status.  Without a value, print the code table and exit.")
+            "Comma-separated diagnostic codes or glob patterns to keep \
+             (e.g. PX301,PX304 or PX3*); everything else is dropped from \
+             the report and the exit status.  Without a value, print the \
+             code table and exit.")
+  in
+  let sense =
+    Arg.(
+      value & flag
+      & info [ "sense" ]
+          ~doc:
+            "Refine the classifications with static sensitization: pairs \
+             whose pins can never both carry events under any consistent \
+             logic assignment become never-proximate (false paths).")
   in
   Cmd.v
     (Cmd.info "verify"
@@ -1463,10 +1639,10 @@ let verify_cmd =
          "Static proximity verification: interval abstract interpretation \
           over the timing graph, PX3xx diagnostics")
     Term.(
-      const (fun () obs f p w tw m mk fmt fo c ->
-          finish_obs obs (run_verify f p w tw m mk fmt fo c))
+      const (fun () obs f p w tw m mk fmt fo c sn ->
+          finish_obs obs (run_verify f p w tw m mk fmt fo c sn))
       $ domains_setup $ obs_setup $ file $ pi $ windows $ tau_window $ mode
-      $ models $ format $ fail_on $ codes)
+      $ models $ format $ fail_on $ codes $ sense)
 
 let hazards_cmd =
   let file =
@@ -1566,9 +1742,19 @@ let hazards_cmd =
       & opt ~vopt:(Some "") (some string) None
       & info [ "codes" ] ~docv:"CODES"
           ~doc:
-            "Comma-separated diagnostic codes to keep (e.g. PX401,PX402); \
-             everything else is dropped from the report and the exit \
-             status.  Without a value, print the code table and exit.")
+            "Comma-separated diagnostic codes or glob patterns to keep \
+             (e.g. PX401,PX402 or PX40?); everything else is dropped from \
+             the report and the exit status.  Without a value, print the \
+             code table and exit.")
+  in
+  let sense =
+    Arg.(
+      value & flag
+      & info [ "sense" ]
+          ~doc:
+            "Refine the verdicts with static sensitization: opposing-edge \
+             pairs whose pins can never both carry events are dropped and \
+             the cell verdicts recomputed (pulse pairs always kept).")
   in
   Cmd.v
     (Cmd.info "hazards"
@@ -1577,10 +1763,91 @@ let hazards_cmd =
           section-6 minimum-separation rule, required-time observability, \
           PX4xx diagnostics")
     Term.(
-      const (fun () obs f p w tw m mk fm r fmt fo c ->
-          finish_obs obs (run_hazards f p w tw m mk fm r fmt fo c))
+      const (fun () obs f p w tw m mk fm r fmt fo c sn ->
+          finish_obs obs (run_hazards f p w tw m mk fm r fmt fo c sn))
       $ domains_setup $ obs_setup $ file $ pi $ windows $ tau_window $ mode
-      $ models $ filter_margin $ required $ format $ fail_on $ codes)
+      $ models $ filter_margin $ required $ format $ fail_on $ codes $ sense)
+
+let sense_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Netlist (text or binary) to analyze.")
+  in
+  let pi =
+    Arg.(
+      value & opt_all string []
+      & info [ "pi" ] ~docv:"EVENT"
+          ~doc:
+            "Primary-input event as net:edge:tau_ps:cross_ps (repeatable); \
+             only the net and edge matter here.  Two events on one net \
+             describe a pulse.  Inputs named by neither --pi nor --const \
+             are free (quiet at an unknown level).")
+  in
+  let consts =
+    Arg.(
+      value & opt_all string []
+      & info [ "const" ] ~docv:"NET=0|1"
+          ~doc:"Pin a quiet primary input at a logic level (repeatable).")
+  in
+  let budget =
+    Arg.(
+      value & opt int Sense.default_budget
+      & info [ "budget" ] ~docv:"CELLS"
+          ~doc:
+            "Fanin-cone cell limit per input pair before the implication \
+             engine gives up (conservatively sensitizable).")
+  in
+  let support =
+    Arg.(
+      value & opt int Sense.default_max_support
+      & info [ "support" ] ~docv:"N"
+          ~doc:
+            "Free-input limit per pair: at most 2^N cubes are enumerated \
+             before the engine gives up.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Report format: text, json or sarif (SARIF 2.1.0).")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("warning", Diagnostic.Warning); ("error", Diagnostic.Error) ])
+          Diagnostic.Warning
+      & info [ "fail-on" ] ~docv:"SEV"
+          ~doc:
+            "Lowest severity that makes the exit status nonzero: warning \
+             (default) or error.")
+  in
+  let codes =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "codes" ] ~docv:"CODES"
+          ~doc:
+            "Comma-separated diagnostic codes or glob patterns to keep \
+             (e.g. PX503 or PX5*); everything else is dropped from the \
+             report and the exit status.  Without a value, print the code \
+             table and exit.")
+  in
+  Cmd.v
+    (Cmd.info "sense"
+       ~doc:
+         "Static sensitization analysis: ternary constant propagation, \
+          bounded implication over input pairs, PX5xx diagnostics")
+    Term.(
+      const (fun () obs f p cn b su fmt fo c ->
+          finish_obs obs (run_sense f p cn b su fmt fo c))
+      $ domains_setup $ obs_setup $ file $ pi $ consts $ budget $ support
+      $ format $ fail_on $ codes)
 
 let profile_cmd =
   let file =
@@ -1715,7 +1982,7 @@ let () =
   let main =
     Cmd.group (Cmd.info "proxim" ~version:"1.0.0" ~doc)
       [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; sta_cmd; verify_cmd;
-        hazards_cmd; profile_cmd; storage_cmd; lint_cmd; gen_cmd;
+        hazards_cmd; sense_cmd; profile_cmd; storage_cmd; lint_cmd; gen_cmd;
         convert_cmd ]
   in
   exit (Cmd.eval' main)

@@ -669,6 +669,54 @@ let quiet_mask t =
   fun (cell : Design.cell) ->
     Hashtbl.mem quiet cell.Design.name || windowless cell
 
+(* --- logic refinement --------------------------------------------------- *)
+
+type refinement = { refined_pairs : int; refined_cells : int }
+
+let refine t ~impossible =
+  let n_pairs = ref 0 and n_cells = ref 0 in
+  let refined =
+    Array.map
+      (function
+        | None -> None
+        | Some r ->
+          let keep, dropped =
+            List.partition
+              (fun p ->
+                (* a same-pin pulse pair has no two-pin sensitization
+                   question to ask — always kept *)
+                p.hp_fall_pin = p.hp_rise_pin
+                || not
+                     (impossible ~cell:r.hc_name ~a:p.hp_fall_pin
+                        ~b:p.hp_rise_pin))
+              r.hc_pairs
+          in
+          if dropped = [] then Some r
+          else begin
+            n_pairs := !n_pairs + List.length dropped;
+            let verdict =
+              if keep = [] then Never
+              else if List.for_all (fun p -> p.hp_filtered) keep then Filtered
+              else May_glitch
+            in
+            if r.hc_verdict = May_glitch && verdict <> May_glitch then
+              incr n_cells;
+            let demoted = verdict <> May_glitch in
+            Some
+              {
+                r with
+                hc_pairs = keep;
+                hc_verdict = verdict;
+                hc_glitch = (if demoted then None else r.hc_glitch);
+                hc_slack = (if demoted then None else r.hc_slack);
+                hc_observable = (if demoted then false else r.hc_observable);
+              }
+          end)
+      t.h_cells
+  in
+  ( { t with h_cells = refined },
+    { refined_pairs = !n_pairs; refined_cells = !n_cells } )
+
 (* --- diagnostics -------------------------------------------------------- *)
 
 let ps i = Interval.scale 1e12 i

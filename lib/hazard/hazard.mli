@@ -212,6 +212,28 @@ val quiet_mask : t -> Proxim_sta.Design.cell -> bool
     group with a provably dominant input — exactly the cases where the
     pruned fast path reproduces the full fold bit-for-bit. *)
 
+type refinement = { refined_pairs : int; refined_cells : int }
+(** How many opposing pairs a {!refine} pass discarded and how many
+    cells thereby lost their [May_glitch] verdict. *)
+
+val refine :
+  t ->
+  impossible:(cell:string -> a:int -> b:int -> bool) ->
+  t * refinement
+(** Sharpen the verdicts with a static-sensitization oracle (see
+    [Proxim_sense]): an opposing-edge pair whose two pins the oracle
+    proves can never both carry events under any consistent logic
+    assignment is discarded, and the cell's verdict is recomputed from
+    the surviving pairs ([Never] when none remain, [Filtered] when all
+    survivors are filtered).  Same-pin pulse pairs are always kept — a
+    pulse is not a two-frame value change, so the oracle has nothing
+    sound to say about it.  A purely re-labeling post-pass: the window
+    dataflow, {!net_state} and {!quiet_mask} are untouched (the mask's
+    STA fast-path contract rests on the timing analysis alone), so a
+    refined analysis stays conservative downstream.  Reporting
+    ({!cells}, {!summary}, {!check}, {!report_text}) reflects the
+    refined verdicts. *)
+
 val check : ?file:string -> t -> Proxim_lint.Diagnostic.t list
 (** The PX4xx findings, sorted: [PX401] per may-glitch cell (its
     governing pair's separation vs the minimum), [PX402] per observable

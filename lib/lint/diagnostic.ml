@@ -50,6 +50,11 @@ type code =
   | PX402
   | PX403
   | PX404
+  (* PX5xx: static sensitization analysis (ternary implication engine) *)
+  | PX501
+  | PX502
+  | PX503
+  | PX504
 
 let all_codes =
   [
@@ -59,6 +64,7 @@ let all_codes =
     PX201; PX202; PX203; PX204; PX205; PX206; PX207; PX208;
     PX301; PX302; PX303; PX304;
     PX401; PX402; PX403; PX404;
+    PX501; PX502; PX503; PX504;
   ]
 
 let code_name = function
@@ -95,6 +101,10 @@ let code_name = function
   | PX402 -> "PX402"
   | PX403 -> "PX403"
   | PX404 -> "PX404"
+  | PX501 -> "PX501"
+  | PX502 -> "PX502"
+  | PX503 -> "PX503"
+  | PX504 -> "PX504"
 
 let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes
 
@@ -111,6 +121,8 @@ let default_severity = function
   | PX301 | PX302 | PX304 -> Warning
   | PX401 | PX402 | PX404 -> Warning
   | PX403 -> Info
+  | PX501 | PX502 -> Warning
+  | PX503 | PX504 -> Info
 
 let code_doc = function
   | PX001 ->
@@ -170,6 +182,20 @@ let code_doc = function
   | PX404 ->
     "unconstrained primary input feeds a glitch-capable cone: an event on \
      it could create an opposing-edge pair the analysis has not seen"
+  | PX501 ->
+    "statically-constant net feeds a proximity-sensitive cone: the ternary \
+     constant propagation pinned its value, so downstream pairs involving \
+     it can never switch together"
+  | PX502 ->
+    "unsensitizable critical-path segment: every switching input pair of \
+     the cell fails static sensitization, so the proximity arc is a false \
+     path"
+  | PX503 ->
+    "input pair pruned by implication: no consistent side-input assignment \
+     lets both pins switch (witness cube attached)"
+  | PX504 ->
+    "implication budget exhausted: the recursive-learning cone exceeded \
+     the depth/support limit, so the pair conservatively stays sensitizable"
 
 type location = {
   file : string option;

@@ -23,7 +23,12 @@
     - [PX4xx] — static hazard-analysis findings produced by the §6
       minimum-separation dataflow ([Proxim_hazard]): may-glitch cells,
       endpoint-observable glitches, near-threshold filtered pairs,
-      unconstrained inputs in glitch-capable cones. *)
+      unconstrained inputs in glitch-capable cones;
+    - [PX5xx] — static sensitization findings produced by the ternary
+      constant-propagation and implication engine ([Proxim_sense]):
+      statically-constant nets in proximity-sensitive cones, false-path
+      cells, implication-pruned pairs with witness cubes, implication
+      budget exhaustion. *)
 
 type severity = Info | Warning | Error
 (** Ordered: [Info < Warning < Error] (the polymorphic compare order). *)
@@ -69,6 +74,10 @@ type code =
   | PX402  (** possible glitch reaches a primary output in its window *)
   | PX403  (** filtered hazard within the widening band of the threshold *)
   | PX404  (** unconstrained primary input in a glitch-capable cone *)
+  | PX501  (** statically-constant net feeds a proximity-sensitive cone *)
+  | PX502  (** unsensitizable critical-path segment (false proximity path) *)
+  | PX503  (** input pair pruned by implication (witness cube attached) *)
+  | PX504  (** implication budget exhausted: pair stays sensitizable *)
 
 val all_codes : code list
 (** Every code, ascending. *)

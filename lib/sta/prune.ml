@@ -1,0 +1,77 @@
+(* The unified STA prune mask: up to three source predicates (one per
+   producing analysis) fused behind a single predicate, with atomic
+   per-source attribution counters.  See the .mli for the contract. *)
+
+type source = Unsensitizable | Quiet | Never_proximate
+
+let source_name = function
+  | Unsensitizable -> "unsensitizable"
+  | Quiet -> "quiet"
+  | Never_proximate -> "never_proximate"
+
+type t = {
+  unsensitizable : (Design.cell -> bool) option;
+  quiet : (Design.cell -> bool) option;
+  never_proximate : (Design.cell -> bool) option;
+  c_unsensitizable : int Atomic.t;
+  c_quiet : int Atomic.t;
+  c_never_proximate : int Atomic.t;
+}
+
+let make ?unsensitizable ?quiet ?never_proximate () =
+  {
+    unsensitizable;
+    quiet;
+    never_proximate;
+    c_unsensitizable = Atomic.make 0;
+    c_quiet = Atomic.make 0;
+    c_never_proximate = Atomic.make 0;
+  }
+
+let none = make ()
+
+let is_empty t =
+  t.unsensitizable = None && t.quiet = None && t.never_proximate = None
+
+let check pred cell = match pred with Some p -> p cell | None -> false
+
+let member t cell =
+  check t.unsensitizable cell || check t.quiet cell
+  || check t.never_proximate cell
+
+(* attribution follows the declared priority order: the cheapest analysis
+   claims a cell that several sources cover *)
+let hit t cell =
+  if check t.unsensitizable cell then begin
+    Atomic.incr t.c_unsensitizable;
+    true
+  end
+  else if check t.quiet cell then begin
+    Atomic.incr t.c_quiet;
+    true
+  end
+  else if check t.never_proximate cell then begin
+    Atomic.incr t.c_never_proximate;
+    true
+  end
+  else false
+
+type counts = {
+  unsensitizable : int;
+  quiet : int;
+  never_proximate : int;
+}
+
+let counts t =
+  {
+    unsensitizable = Atomic.get t.c_unsensitizable;
+    quiet = Atomic.get t.c_quiet;
+    never_proximate = Atomic.get t.c_never_proximate;
+  }
+
+let total c = c.unsensitizable + c.quiet + c.never_proximate
+
+let reset_counts t =
+  Atomic.set t.c_unsensitizable 0;
+  Atomic.set t.c_quiet 0;
+  Atomic.set t.c_never_proximate 0

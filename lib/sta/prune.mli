@@ -1,0 +1,67 @@
+(** The unified STA prune mask.
+
+    Three static analyses can each prove that a cell's §3 proximity fold
+    provably degenerates to the single-input fast path, so the expensive
+    dual-macromodel evaluation can be skipped bit-identically:
+
+    - {e never-proximate} — the interval verification
+      ([Proxim_verify.prune_mask]) separated every input pair's windows
+      beyond the proximity range;
+    - {e quiet} — the §6 hazard dataflow ([Proxim_hazard.quiet_mask])
+      found at most one possibly-switching input;
+    - {e unsensitizable} — the ternary sensitization engine
+      ([Proxim_sense.prune_mask]) proved at most one input can carry an
+      event once statically-constant nets are absorbed.
+
+    A {!t} fuses any subset of those sources behind one predicate and
+    attributes every hit to the {e first} source (in the priority order
+    unsensitizable, quiet, never-proximate — cheapest analysis first) so
+    reports can show what each mask contributed.  The fused mask is
+    consulted by {!Sta.build_ir} in [Proximity] mode only; each source
+    keeps its own validity contract (see the producing module). *)
+
+type source = Unsensitizable | Quiet | Never_proximate
+(** Attribution priority order: an earlier source claims a cell both
+    sources cover. *)
+
+val source_name : source -> string
+(** ["unsensitizable"], ["quiet"], ["never_proximate"] — the stable
+    names used in reports and BENCH files. *)
+
+type t
+
+val none : t
+(** The empty mask: prunes nothing, counts nothing. *)
+
+val make :
+  ?unsensitizable:(Design.cell -> bool) ->
+  ?quiet:(Design.cell -> bool) ->
+  ?never_proximate:(Design.cell -> bool) ->
+  unit ->
+  t
+(** Fuse the given source predicates.  Omitted sources contribute
+    nothing.  Counters start at zero. *)
+
+val is_empty : t -> bool
+(** No sources attached (so {!member} is constantly [false]). *)
+
+val member : t -> Design.cell -> bool
+(** The fused predicate, without touching the counters — for mask
+    inspection and tests. *)
+
+val hit : t -> Design.cell -> bool
+(** The fused predicate as consulted by the propagation engine: a [true]
+    answer atomically increments the counter of the first matching
+    source.  Safe to call from several domains at once. *)
+
+type counts = {
+  unsensitizable : int;
+  quiet : int;
+  never_proximate : int;
+}
+(** Per-source attribution of the {!hit} answers since {!make} (or the
+    last {!reset_counts}). *)
+
+val counts : t -> counts
+val total : counts -> int
+val reset_counts : t -> unit

@@ -252,7 +252,7 @@ let make_engine ~prune ~pruned_count ~mode ~models ~thresholds ~design :
           classic_verdict (!models cell) ~cell:cell.Design.name ~edge
             ~slew_scale inputs
         | Proximity ->
-          if prune cell then begin
+          if Prune.hit prune cell then begin
             Atomic.incr pruned_count;
             Metrics.Counter.incr c_pruned;
             pruned_proximity_verdict (!models cell) ~cell:cell.Design.name
@@ -278,7 +278,7 @@ let set_pi ir (net, a) =
   | None -> () (* a pi event for a net the design never mentions is inert *)
   | Some id -> Timing.set_source ir.timing ~net:id (Some a)
 
-let build_ir ?(mode = Proximity) ?(prune = fun _ -> false) ~models ~thresholds
+let build_ir ?(mode = Proximity) ?(prune = Prune.none) ~models ~thresholds
     design ~pi =
   let models = ref models in
   let pruned_count = Atomic.make 0 in

@@ -90,7 +90,7 @@ val po_slacks :
 
 val analyze :
   ?mode:mode ->
-  ?prune:(Design.cell -> bool) ->
+  ?prune:Prune.t ->
   ?pool:Proxim_util.Pool.t ->
   models:(Design.cell -> Proxim_macromodel.Models.t) ->
   thresholds:Proxim_vtc.Vtc.thresholds ->
@@ -125,7 +125,7 @@ type ir
 
 val build_ir :
   ?mode:mode ->
-  ?prune:(Design.cell -> bool) ->
+  ?prune:Prune.t ->
   models:(Design.cell -> Proxim_macromodel.Models.t) ->
   thresholds:Proxim_vtc.Vtc.thresholds ->
   Design.t ->
@@ -135,17 +135,21 @@ val build_ir :
     applied ([pi] nets unknown to the design are ignored, like the
     historical analyzer did).  Call {!reanalyze} to populate it.
 
-    [prune] (default: never) marks cells a static analysis proved
-    {e never-proximate} under the current primary-input assumptions
-    (see [Proxim_verify.prune_mask]).  In [Proximity] mode those cells
-    take a single-input fast path — dominant would-be arrival and
-    single-input slew, no dominance sort, no dual-macromodel queries —
-    which is bit-identical to the full evaluation {e by construction of
-    the verdict} (the fold provably reduces to those expressions).  The
-    mask is only consulted in [Proximity] mode, and is only valid while
-    every primary-input event stays inside the uncertainty windows the
-    verification was run with: re-verify (or drop the mask) before
-    applying ECOs that move events outside them. *)
+    [prune] (default: {!Prune.none}) fuses the masks the static analyses
+    produced — never-proximate cells from [Proxim_verify.prune_mask],
+    quiet cells from [Proxim_hazard.quiet_mask], unsensitizable cells
+    from [Proxim_sense.prune_mask] — under the current primary-input
+    assumptions.  In [Proximity] mode those cells take a single-input
+    fast path — dominant would-be arrival and single-input slew, no
+    dominance sort, no dual-macromodel queries — which is bit-identical
+    to the full evaluation {e by construction of each source's verdict}
+    (the fold provably reduces to those expressions).  The mask is only
+    consulted in [Proximity] mode, and each source is only valid while
+    every primary-input event stays inside the uncertainty windows (and
+    logic assumptions) its analysis was run with: re-run the analyses
+    (or drop the mask) before applying ECOs that move events outside
+    them.  Per-source attribution is available from {!Prune.counts} on
+    the mask the caller passed in. *)
 
 val design : ir -> Design.t
 val timing : ir -> Design.cell Proxim_timing.Timing.t

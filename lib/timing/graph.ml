@@ -216,6 +216,21 @@ let cell_level t id = t.cell_levels.(id)
 let level_count t = Array.length t.levels
 let level t i = t.levels.(i)
 
+let fanin_cone t ~cells =
+  let seen = Array.make (cell_count t) false in
+  let rec mark_cell i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      Array.iter
+        (fun net ->
+          let d = t.net_driver.(net) in
+          if d >= 0 then mark_cell d)
+        t.cell_inputs.(i)
+    end
+  in
+  List.iter mark_cell cells;
+  seen
+
 let fanout_cone t ~nets ~cells =
   let dirty = Array.make (cell_count t) false in
   let rec mark_cell i =

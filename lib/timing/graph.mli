@@ -92,6 +92,12 @@ val level : 'cell t -> int -> int array
 (** Cells of one level, in topological order.  Cells of a level never
     feed each other, so they can be timed concurrently. *)
 
+val fanin_cone : 'cell t -> cells:int list -> bool array
+(** Per-cell membership of the transitive fanin cone of the given cells
+    (the cells themselves included) — the set of cells whose outputs can
+    possibly influence theirs.  The sensitization engine sizes its
+    implication budget against this cone. *)
+
 val fanout_cone : 'cell t -> nets:int list -> cells:int list -> bool array
 (** Per-cell membership of the transitive fanout cone of the given nets
     and cells (the cells themselves included) — the set an edit to those

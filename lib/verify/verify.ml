@@ -105,6 +105,11 @@ type t = {
   v_mode : Sta.mode;
   v_arrivals : aarrival option array;
   v_cells : cell_info option array;
+  v_timing_cells : cell_info option array;
+      (** the classifications as the interval pass computed them, before
+          any logic refinement — the ones {!prune_mask} may trust (the
+          STA fast path is only bit-identical for timing-proven
+          never-proximate cells) *)
   v_unconstrained : string list;
       (** quiet primary inputs whose fanout cone contains a switching
           multi-input cell *)
@@ -570,6 +575,7 @@ let analyze ?(mode = Sta.Proximity) ~models ~thresholds design ~pi =
     v_mode = mode;
     v_arrivals = arrivals;
     v_cells = infos;
+    v_timing_cells = infos;
     v_unconstrained = unconstrained;
   }
 
@@ -624,8 +630,60 @@ let prune_mask t =
         | Some ci when ci.ci_class = Never_proximate ->
           Hashtbl.replace never ci.ci_name ()
         | Some _ | None -> ())
-      t.v_cells;
+      t.v_timing_cells;
     fun (cell : Design.cell) -> Hashtbl.mem never cell.Design.name
+
+(* --- logic refinement --------------------------------------------------- *)
+
+type refinement = { refined_pairs : int; refined_cells : int }
+
+let refine t ~unsensitizable =
+  let pairs = ref 0 and cells = ref 0 in
+  let refined =
+    Array.map
+      (function
+        | None -> None
+        | Some ci ->
+          let changed = ref false in
+          let new_pairs =
+            List.map
+              (fun p ->
+                if
+                  p.pr_class <> Never_proximate
+                  && unsensitizable ~cell:ci.ci_name ~a:p.pr_a ~b:p.pr_b
+                then begin
+                  incr pairs;
+                  changed := true;
+                  { p with pr_class = Never_proximate }
+                end
+                else p)
+              ci.ci_pairs
+          in
+          if not !changed then Some ci
+          else begin
+            (* a cell is proximity-free once every switching pair is: the
+               remaining verdicts only weaken (Always with a dead pair is
+               no longer provably-always) *)
+            let cls =
+              if
+                new_pairs <> []
+                && List.for_all
+                     (fun p -> p.pr_class = Never_proximate)
+                     new_pairs
+              then Never_proximate
+              else
+                match ci.ci_class with
+                | Always_proximate -> May_be_proximate
+                | c -> c
+            in
+            if cls = Never_proximate && ci.ci_class <> Never_proximate then
+              incr cells;
+            Some { ci with ci_pairs = new_pairs; ci_class = cls }
+          end)
+      t.v_cells
+  in
+  ( { t with v_cells = refined },
+    { refined_pairs = !pairs; refined_cells = !cells } )
 
 (* --- diagnostics -------------------------------------------------------- *)
 

@@ -174,7 +174,28 @@ val prune_mask : t -> Proxim_sta.Design.cell -> bool
     [true] exactly for cells classified {!Never_proximate} by a
     [Proximity]-mode verification (constant [false] for other modes).
     Only valid while every primary-input event stays inside the windows
-    {!analyze} was run with. *)
+    {!analyze} was run with.  Always computed from the {e timing-pass}
+    classifications: {!refine} never widens this mask, because the STA
+    fast path is bit-identical only for cells whose §3 fold provably
+    degenerates on timing grounds — a logic-refined Never is a false
+    path, not a degenerate fold. *)
+
+type refinement = { refined_pairs : int; refined_cells : int }
+(** How many pair / cell verdicts a {!refine} pass converted to
+    {!Never_proximate} — the May-to-Never conversion rate's numerator. *)
+
+val refine :
+  t ->
+  unsensitizable:(cell:string -> a:int -> b:int -> bool) ->
+  t * refinement
+(** Sharpen the classifications with a static-sensitization oracle
+    (see [Proxim_sense]): a pair the oracle proves can never have both
+    pins switching under any consistent logic assignment is converted to
+    {!Never_proximate}; a cell all of whose pairs become never-proximate
+    follows, and an [Always_proximate] verdict resting on a dead pair
+    weakens to {!May_be_proximate}.  Reporting ({!cells}, {!summary},
+    {!check}) reflects the refined verdicts; {!prune_mask} deliberately
+    does not (see there). *)
 
 val abstract_response :
   mode:Proxim_sta.Sta.mode ->

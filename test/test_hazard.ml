@@ -13,6 +13,7 @@ module Prng = Proxim_util.Prng
 module Pool = Proxim_util.Pool
 module Design = Proxim_sta.Design
 module Sta = Proxim_sta.Sta
+module Prune = Proxim_sta.Prune
 module Diagnostic = Proxim_lint.Diagnostic
 module Interval = Proxim_verify.Interval
 module Verify = Proxim_verify.Verify
@@ -495,7 +496,7 @@ let test_quiet_mask_bit_identical () =
     (Sta.report ir, Sta.pruned_evaluations ir)
   in
   let r_full, _ = run () in
-  let r_pruned, n_pruned = run ~prune:mask () in
+  let r_pruned, n_pruned = run ~prune:(Prune.make ~quiet:mask ()) () in
   Pool.shutdown pool;
   Alcotest.(check bool) "fast path taken" true (n_pruned > 0);
   Alcotest.(check bool) "bit-identical" true (reports_eq r_full r_pruned)
@@ -549,7 +550,7 @@ let test_quiet_mask_gating_not_quiet () =
     Sta.report ir
   in
   let r_full = run () in
-  let r_pruned = run ~prune:(Hazard.quiet_mask h) () in
+  let r_pruned = run ~prune:(Prune.make ~quiet:(Hazard.quiet_mask h) ()) () in
   Pool.shutdown pool;
   Alcotest.(check bool) "gating design bit-identical" true
     (reports_eq r_full r_pruned)
@@ -618,7 +619,8 @@ let test_quiet_mask_bit_identical_random () =
       ignore (Sta.reanalyze ~pool ir);
       Sta.report ir
     in
-    let r1 = run () and r2 = run ~prune:(Hazard.quiet_mask h) () in
+    let r1 = run ()
+    and r2 = run ~prune:(Prune.make ~quiet:(Hazard.quiet_mask h) ()) () in
     if not (reports_eq r1 r2) then begin
       let mask = Hazard.quiet_mask h in
       let pruned =

@@ -11,6 +11,7 @@ module Prng = Proxim_util.Prng
 module Pool = Proxim_util.Pool
 module Design = Proxim_sta.Design
 module Sta = Proxim_sta.Sta
+module Prune = Proxim_sta.Prune
 module Diagnostic = Proxim_lint.Diagnostic
 module Interval = Proxim_verify.Interval
 module Verify = Proxim_verify.Verify
@@ -471,7 +472,9 @@ let test_prune_bit_identical () =
     (Sta.report ir, Sta.pruned_evaluations ir)
   in
   let r_full, n_full = run () in
-  let r_pruned, n_pruned = run ~prune () in
+  let r_pruned, n_pruned =
+    run ~prune:(Prune.make ~never_proximate:prune ()) ()
+  in
   Pool.shutdown pool;
   Alcotest.(check int) "no skips without a mask" 0 n_full;
   Alcotest.(check bool) "fast path taken" true (n_pruned > 0);
@@ -562,7 +565,10 @@ let test_prune_bit_identical_random () =
       ignore (Sta.reanalyze ~pool ir);
       Sta.report ir
     in
-    let r1 = run () and r2 = run ~prune:(Verify.prune_mask v) () in
+    let r1 = run ()
+    and r2 =
+      run ~prune:(Prune.make ~never_proximate:(Verify.prune_mask v) ()) ()
+    in
     let aeq (a : Sta.arrival) (b : Sta.arrival) =
       feq a.Sta.time b.Sta.time && feq a.Sta.slew b.Sta.slew
       && a.Sta.edge = b.Sta.edge
