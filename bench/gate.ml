@@ -329,6 +329,46 @@ let gate_sense baseline actual =
     ~actual:(Printf.sprintf "%.4f" rate)
     (rate >= floor)
 
+(* --- serve gate ------------------------------------------------------ *)
+
+let gate_serve baseline actual =
+  let ctx = "serve" in
+  (* correctness properties: hard gates, no tolerance band *)
+  check ~metric:"serve.bit_identical" ~baseline:"true"
+    ~actual:(string_of_bool (boolean ~ctx "bit_identical" actual))
+    (boolean ~ctx "bit_identical" actual);
+  check ~metric:"serve.adversarial_survived" ~baseline:"true"
+    ~actual:(string_of_bool (boolean ~ctx "adversarial_survived" actual))
+    (boolean ~ctx "adversarial_survived" actual);
+  let min_sessions = int_of_float (num ~ctx "min_sessions" baseline) in
+  let got_sessions = int_of_float (num ~ctx "sessions" actual) in
+  check ~metric:"serve.sessions"
+    ~baseline:(Printf.sprintf ">= %d" min_sessions)
+    ~actual:(string_of_int got_sessions)
+    (got_sessions >= min_sessions);
+  let min_requests = int_of_float (num ~ctx "min_requests" baseline) in
+  let requests = int_of_float (num ~ctx "requests" actual) in
+  check ~metric:"serve.requests"
+    ~baseline:(Printf.sprintf ">= %d" min_requests)
+    ~actual:(string_of_int requests)
+    (requests >= min_requests);
+  (* latency percentiles are wall-clock on a shared CI host: the slack
+     multiplier keeps this a catch-the-order-of-magnitude gate (a lost
+     pipeline or an accidental global serialization), not a timer *)
+  let slack = num ~ctx "latency_slack" baseline in
+  let lat name max_name =
+    let ceiling = num ~ctx max_name baseline *. slack in
+    let v = num ~ctx name actual in
+    check ~metric:("serve." ^ name)
+      ~baseline:(Printf.sprintf "<= %.0f (x%.0f slack)" ceiling slack)
+      ~actual:(Printf.sprintf "%.2f" v)
+      (v <= ceiling)
+  in
+  lat "eco_p50_ms" "max_eco_p50_ms";
+  lat "eco_p99_ms" "max_eco_p99_ms";
+  lat "query_p50_ms" "max_query_p50_ms";
+  lat "query_p99_ms" "max_query_p99_ms"
+
 (* --------------------------------------------------------------------- *)
 
 let () =
@@ -339,7 +379,10 @@ let () =
      | "parallel" -> gate_parallel baseline actual
      | "incremental" -> gate_incremental baseline actual
      | "sense" -> gate_sense baseline actual
-     | k -> die "unknown kind %S (expected parallel, incremental or sense)" k);
+     | "serve" -> gate_serve baseline actual
+     | k ->
+       die "unknown kind %S (expected parallel, incremental, sense or serve)"
+         k);
     Printf.printf "bench gate: %s vs %s\n" actual_path baseline_path;
     print_table ();
     let failed =
@@ -352,5 +395,6 @@ let () =
     else print_endline "gate: ok"
   | _ ->
     prerr_endline
-      "usage: gate.exe <parallel|incremental|sense> <baseline.json> <actual.json>";
+      "usage: gate.exe <parallel|incremental|sense|serve> <baseline.json> \
+       <actual.json>";
     exit 2

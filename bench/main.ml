@@ -1975,6 +1975,278 @@ let sense_bench () =
   Printf.printf "  wrote BENCH_sense.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* The serve daemon under concurrent sessions: ECO/query latency
+   percentiles, response bit-identity against the offline engine, and
+   survival of adversarial frames.  Writes BENCH_serve.json.           *)
+
+module Serve = Proxim_serve.Serve
+module Frame = Proxim_serve.Frame
+module Sjson = Proxim_lint.Json
+
+(* percentile over a metrics histogram (log10-seconds axis): walk the
+   merged bins to the target rank and interpolate inside the bin *)
+let hist_percentile (h : Obs_metrics.hist_snapshot) p =
+  if h.count = 0 then 0.
+  else begin
+    let target = float_of_int h.count *. p /. 100. in
+    let hist = h.hist in
+    let edges = Histogram.bin_edges hist in
+    let cum = ref (float_of_int hist.Histogram.underflow) in
+    let res = ref h.max in
+    (try
+       Array.iteri
+         (fun i c ->
+           let c = float_of_int c in
+           if !cum +. c >= target && c > 0. then begin
+             let frac = (target -. !cum) /. c in
+             res := 10. ** (edges.(i) +. (frac *. (edges.(i + 1) -. edges.(i))));
+             raise Exit
+           end
+           else cum := !cum +. c)
+         hist.Histogram.counts
+     with Exit -> ());
+    Float.min !res (if h.max > 0. then h.max else !res)
+  end
+
+let serve_rpc fd req =
+  match Serve.request fd req with
+  | Ok j when Serve.ok j -> j
+  | Ok j -> failwith ("serve bench: request rejected: " ^ Sjson.to_string j)
+  | Error m -> failwith ("serve bench: " ^ m)
+
+let serve_bench () =
+  section "proxim serve: concurrent sessions over the ECO engine";
+  let cells = if !quick then 2_000 else 10_000 in
+  let sessions = 4 in
+  let rounds = if !quick then 10 else 30 in
+  let seed = 7 and depth = 4 in
+  let tech = Tech.generic_5v in
+
+  (* the deterministic per-round ECO script every session replays *)
+  let eco_at r =
+    let net = Printf.sprintf "pi%d" (r mod 17) in
+    Sta.Set_pi
+      ( net,
+        Some
+          {
+            Sta.time = float_of_int (r + 1) *. 3e-12;
+            slew = 250e-12 +. (float_of_int (r mod 5) *. 10e-12);
+            edge = Measure.Fall;
+          } )
+  in
+
+  (* offline reference: the same design, stimulus and ECO script through
+     the same engine entry points the daemon calls *)
+  subsection "offline reference";
+  let _name, design = Synthgen.generate ~seed ~depth ~tech ~cells () in
+  let factory = Sta.synthetic_factory ~seed:0 () in
+  let thresholds =
+    match Design.cells design with
+    | c :: _ -> Vtc.thresholds c.Design.gate
+    | [] -> failwith "generated design has no cells"
+  in
+  let pi =
+    List.map
+      (fun net ->
+        (net, { Sta.time = 0.; slew = 300e-12; edge = Measure.Fall }))
+      (Design.primary_inputs design)
+  in
+  let ir =
+    Sta.build_ir ~mode:Sta.Proximity ~models:factory.Sta.models ~thresholds
+      design ~pi
+  in
+  ignore (Sta.reanalyze ir : Timing.stats);
+  for r = 0 to rounds - 1 do
+    ignore (Sta.update ir [ eco_at r ] : Timing.stats)
+  done;
+  let offline = Sta.report ir in
+  Printf.printf "  %d cells, %d rounds scripted\n" cells rounds;
+
+  subsection (Printf.sprintf "%d concurrent sessions" sessions);
+  let srv = Serve.start (`Tcp ("127.0.0.1", 0)) in
+  let addr = `Tcp ("127.0.0.1", Option.get (Serve.port srv)) in
+  let gen_req =
+    Sjson.Obj
+      [
+        ("op", Sjson.String "gen");
+        ("cells", Sjson.Number (float_of_int cells));
+        ("depth", Sjson.Number (float_of_int depth));
+        ("seed", Sjson.Number (float_of_int seed));
+        ("name", Sjson.String "bench");
+      ]
+  in
+  let attach_req =
+    Sjson.Obj
+      [
+        ("op", Sjson.String "attach");
+        ("design", Sjson.String "bench");
+        ("mode", Sjson.String "proximity");
+        ("models", Sjson.String "synthetic");
+        ( "pi_all",
+          Serve.arrival_to_json
+            { Sta.time = 0.; slew = 300e-12; edge = Measure.Fall } );
+      ]
+  in
+  let eco_req r =
+    let kind, fields =
+      match eco_at r with
+      | Sta.Set_pi (net, Some a) ->
+        ( "set_pi",
+          [ ("net", Sjson.String net); ("arrival", Serve.arrival_to_json a) ]
+        )
+      | Sta.Set_pi (net, None) ->
+        ("set_pi", [ ("net", Sjson.String net); ("arrival", Sjson.Null) ])
+      | Sta.Touch_cell c -> ("touch_cell", [ ("cell", Sjson.String c) ])
+    in
+    Sjson.Obj
+      [
+        ("op", Sjson.String "eco");
+        ( "ecos",
+          Sjson.List [ Sjson.Obj (("kind", Sjson.String kind) :: fields) ] );
+      ]
+  in
+  (* one connection loads the shared design into the store *)
+  let fd0 = Serve.connect addr in
+  ignore (serve_rpc fd0 gen_req : Sjson.t);
+  Unix.close fd0;
+  let eco_ts = Array.make (sessions * rounds) 0. in
+  let query_ts = Array.make (sessions * rounds) 0. in
+  let finals = Array.make sessions None in
+  let session s () =
+    let fd = Serve.connect addr in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        ignore (serve_rpc fd attach_req : Sjson.t);
+        for r = 0 to rounds - 1 do
+          let t0 = Unix.gettimeofday () in
+          ignore (serve_rpc fd (eco_req r) : Sjson.t);
+          eco_ts.((s * rounds) + r) <- Unix.gettimeofday () -. t0;
+          let t0 = Unix.gettimeofday () in
+          let resp =
+            serve_rpc fd (Sjson.Obj [ ("op", Sjson.String "report") ])
+          in
+          query_ts.((s * rounds) + r) <- Unix.gettimeofday () -. t0;
+          if r = rounds - 1 then
+            finals.(s) <-
+              (match
+                 Option.map Serve.report_of_json (Sjson.member "report" resp)
+               with
+               | Some (Ok rep) -> Some rep
+               | _ -> None)
+        done)
+  in
+  let threads = List.init sessions (fun s -> Thread.create (session s) ()) in
+  List.iter Thread.join threads;
+  let bit_identical =
+    Array.for_all
+      (function Some r -> report_bits_eq r offline | None -> false)
+      finals
+  in
+  let p a q = 1e3 *. Stats.percentile a q in
+  Printf.printf "  eco   p50 %.3f ms  p99 %.3f ms\n" (p eco_ts 50.)
+    (p eco_ts 99.);
+  Printf.printf "  query p50 %.3f ms  p99 %.3f ms\n" (p query_ts 50.)
+    (p query_ts 99.);
+  Printf.printf "  responses bit-identical to offline: %b\n" bit_identical;
+
+  subsection "adversarial client";
+  (* garbage JSON, an oversized length claim and a mid-frame disconnect:
+     each gets a typed error (or a dropped session) and the daemon keeps
+     answering *)
+  let adversarial_survived =
+    try
+      let fd = Serve.connect addr in
+      Frame.write fd "not json at all";
+      let bad_json_typed =
+        match Frame.read fd with
+        | Ok s -> (
+          match Sjson.of_string s with
+          | Ok j -> Serve.error_code j = Some "bad_json"
+          | Error _ -> false)
+        | Error _ -> false
+      in
+      ignore (serve_rpc fd (Sjson.Obj [ ("op", Sjson.String "ping") ]));
+      Unix.close fd;
+      let fd = Serve.connect addr in
+      ignore (Unix.write fd (Bytes.of_string "\x7f\xff\xff\xff") 0 4 : int);
+      let oversized_typed =
+        match Frame.read fd with
+        | Ok s -> (
+          match Sjson.of_string s with
+          | Ok j -> Serve.error_code j = Some "bad_frame"
+          | Error _ -> false)
+        | Error _ -> false
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let fd = Serve.connect addr in
+      ignore (Unix.write fd (Bytes.of_string "\x00\x02") 0 2 : int);
+      Unix.close fd;
+      let fd = Serve.connect addr in
+      ignore (serve_rpc fd (Sjson.Obj [ ("op", Sjson.String "ping") ]));
+      Unix.close fd;
+      bad_json_typed && oversized_typed
+    with _ -> false
+  in
+  Printf.printf "  survived with typed errors: %b\n" adversarial_survived;
+
+  (* server-side latency distributions from the metrics registry *)
+  let snap = Obs_metrics.snapshot () in
+  let hist name =
+    match List.assoc_opt name snap.Obs_metrics.histograms with
+    | Some h -> h
+    | None -> failwith ("serve bench: no histogram " ^ name)
+  in
+  let h_eco = hist "serve.eco_seconds" in
+  let h_query = hist "serve.query_seconds" in
+  let total_requests =
+    match List.assoc_opt "serve.requests" snap.Obs_metrics.counters with
+    | Some n -> n
+    | None -> 0
+  in
+  Printf.printf
+    "  server-side eco   p50 %.3f ms  p99 %.3f ms  (%d observed)\n"
+    (1e3 *. hist_percentile h_eco 50.)
+    (1e3 *. hist_percentile h_eco 99.)
+    h_eco.Obs_metrics.count;
+
+  Serve.stop srv;
+  Serve.wait srv;
+
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"generated design served to concurrent sessions, a \
+     scripted ECO+report round-trip per request pair, synthetic models\",\n\
+    \  \"quick\": %b,\n\
+    \  \"cells\": %d,\n\
+    \  \"sessions\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"requests\": %d,\n\
+    \  \"bit_identical\": %b,\n\
+    \  \"adversarial_survived\": %b,\n\
+    \  \"eco_p50_ms\": %.4f,\n\
+    \  \"eco_p99_ms\": %.4f,\n\
+    \  \"query_p50_ms\": %.4f,\n\
+    \  \"query_p99_ms\": %.4f,\n\
+    \  \"server_eco_p50_ms\": %.4f,\n\
+    \  \"server_eco_p99_ms\": %.4f,\n\
+    \  \"server_query_p50_ms\": %.4f,\n\
+    \  \"server_query_p99_ms\": %.4f,\n\
+    \  \"metrics\": %s\n\
+     }\n"
+    !quick cells sessions rounds total_requests bit_identical
+    adversarial_survived (p eco_ts 50.) (p eco_ts 99.) (p query_ts 50.)
+    (p query_ts 99.)
+    (1e3 *. hist_percentile h_eco 50.)
+    (1e3 *. hist_percentile h_eco 99.)
+    (1e3 *. hist_percentile h_query 50.)
+    (1e3 *. hist_percentile h_query 99.)
+    (metrics_json ());
+  close_out oc;
+  Printf.printf "  wrote BENCH_serve.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1996,6 +2268,7 @@ let experiments =
     ("verify_bench", verify_bench);
     ("hazard_bench", hazard_bench);
     ("sense_bench", sense_bench);
+    ("serve_bench", serve_bench);
   ]
 
 (* ablation_correction shares its output with table5_1; avoid printing it

@@ -41,6 +41,25 @@ let edge_of_string = function
   | "fall" | "f" | "falling" -> Ok Measure.Fall
   | s -> Error (`Msg (Printf.sprintf "unknown edge %s (rise|fall)" s))
 
+(* The EDGE:TAU_PS:CROSS_PS core every event spec ends with — shared by
+   --event (pin-prefixed), --pi (net-prefixed), --pi-all (bare) and the
+   eco specs, so a malformed edge or number yields one message and one
+   exit code (2) whatever the subcommand.  [spec] is the caller's whole
+   original argument, quoted verbatim in the diagnostic. *)
+let parse_edge_tau_t ~spec edge_s tau_s t_s =
+  match edge_of_string edge_s with
+  | Error e -> Error e
+  | Ok edge -> (
+    match (float_of_string_opt tau_s, float_of_string_opt t_s) with
+    | Some tau_ps, Some t_ps -> Ok (edge, tau_ps *. 1e-12, t_ps *. 1e-12)
+    | None, _ | _, None ->
+      Error (`Msg (Printf.sprintf "bad numbers in event %s" spec)))
+
+(* exit code for a malformed event/eco spec on every subcommand *)
+let usage_error m =
+  prerr_endline m;
+  2
+
 let with_gate name f =
   let tech = Tech.generic_5v in
   match Gate.of_name tech name with
@@ -91,20 +110,11 @@ let run_delay gate_name pin_s edge_s tau_ps load_ff =
 let parse_event gate s =
   match String.split_on_char ':' s with
   | [ pin_s; edge_s; tau_s; t_s ] -> (
-    match (pin_of_string gate pin_s, edge_of_string edge_s) with
+    match (pin_of_string gate pin_s, parse_edge_tau_t ~spec:s edge_s tau_s t_s)
+    with
     | Error e, _ | _, Error e -> Error e
-    | Ok pin, Ok edge -> (
-      match (float_of_string_opt tau_s, float_of_string_opt t_s) with
-      | Some tau_ps, Some t_ps ->
-        Ok
-          {
-            Proximity.pin;
-            edge;
-            tau = tau_ps *. 1e-12;
-            cross_time = t_ps *. 1e-12;
-          }
-      | None, _ | _, None ->
-        Error (`Msg (Printf.sprintf "bad numbers in event %s" s))))
+    | Ok pin, Ok (edge, tau, cross_time) ->
+      Ok { Proximity.pin; edge; tau; cross_time })
   | _ ->
     Error
       (`Msg
@@ -123,12 +133,8 @@ let run_proximity gate_name event_specs baselines =
         | Error e -> Error e)
     in
     match parse_all [] event_specs with
-    | Error (`Msg m) ->
-      prerr_endline m;
-      1
-    | Ok [] ->
-      prerr_endline "need at least one event";
-      1
+    | Error (`Msg m) -> usage_error m
+    | Ok [] -> usage_error "need at least one event"
     | Ok events ->
       (* shift all events so every ramp starts at positive time *)
       let max_tau =
@@ -385,15 +391,10 @@ let edge_name = function Measure.Rise -> "rise" | Measure.Fall -> "fall"
 
 let parse_pi_spec s =
   match String.split_on_char ':' s with
-  | [ net; edge_s; tau_s; t_s ] -> (
-    match edge_of_string edge_s with
-    | Error e -> Error e
-    | Ok edge -> (
-      match (float_of_string_opt tau_s, float_of_string_opt t_s) with
-      | Some tau_ps, Some t_ps ->
-        Ok (net, { Sta.time = t_ps *. 1e-12; slew = tau_ps *. 1e-12; edge })
-      | None, _ | _, None ->
-        Error (`Msg (Printf.sprintf "bad numbers in pi event %s" s))))
+  | [ net; edge_s; tau_s; t_s ] ->
+    Result.map
+      (fun (edge, slew, time) -> (net, { Sta.time; slew; edge }))
+      (parse_edge_tau_t ~spec:s edge_s tau_s t_s)
   | _ ->
     Error
       (`Msg
@@ -423,15 +424,10 @@ let parse_eco_spec s =
    million-input-free design where PIs are pi0..piN *)
 let parse_pi_all_spec s =
   match String.split_on_char ':' s with
-  | [ edge_s; tau_s; t_s ] -> (
-    match edge_of_string edge_s with
-    | Error e -> Error e
-    | Ok edge -> (
-      match (float_of_string_opt tau_s, float_of_string_opt t_s) with
-      | Some tau_ps, Some t_ps ->
-        Ok { Sta.time = t_ps *. 1e-12; slew = tau_ps *. 1e-12; edge }
-      | None, _ | _, None ->
-        Error (`Msg (Printf.sprintf "bad numbers in pi-all event %s" s))))
+  | [ edge_s; tau_s; t_s ] ->
+    Result.map
+      (fun (edge, slew, time) -> { Sta.time; slew; edge })
+      (parse_edge_tau_t ~spec:s edge_s tau_s t_s)
   | _ ->
     Error
       (`Msg
@@ -590,11 +586,9 @@ let run_sta file pi_specs pi_all_spec mode models_kind paths_k required_ps
             pi_all_spec )
       with
       | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
-        prerr_endline m;
-        1
+        usage_error m
       | Ok [], _, Ok None ->
-        prerr_endline "proxim sta: need at least one --pi event (or --pi-all)";
-        1
+        usage_error "proxim sta: need at least one --pi event (or --pi-all)"
       | Ok named_pi, Ok ecos, Ok pi_all ->
         let pi =
           match pi_all with
@@ -834,12 +828,8 @@ let run_profile file pi_specs mode models_kind =
     1
   | Ok (text, name, design) -> (
     match parse_all parse_pi_spec [] pi_specs with
-    | Error (`Msg m) ->
-      prerr_endline m;
-      1
-    | Ok [] ->
-      prerr_endline "proxim profile: need at least one --pi event";
-      1
+    | Error (`Msg m) -> usage_error m
+    | Ok [] -> usage_error "proxim profile: need at least one --pi event"
     | Ok pi ->
       let th =
         phase "thresholds" (fun () ->
@@ -1977,12 +1967,402 @@ let convert_cmd =
           encodings, preserving any thresholds directive")
     Term.(const run_convert $ input $ output $ format_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+module Serve = Proxim_serve.Serve
+module Sjson = Proxim_lint.Json
+
+(* unix:PATH | tcp:HOST:PORT | bare PATH (a unix socket) *)
+let parse_addr s =
+  let prefixed p =
+    String.length s > String.length p
+    && String.sub s 0 (String.length p) = p
+  in
+  if prefixed "unix:" then
+    Ok (`Unix (String.sub s 5 (String.length s - 5)))
+  else if prefixed "tcp:" then begin
+    let rest = String.sub s 4 (String.length s - 4) in
+    match String.rindex_opt rest ':' with
+    | Some i -> (
+      let host = String.sub rest 0 i in
+      let port_s = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match int_of_string_opt port_s with
+      | Some port when port >= 0 -> Ok (`Tcp (host, port))
+      | _ -> Error (Printf.sprintf "bad port in address %s" s))
+    | None -> Error (Printf.sprintf "bad address %s (tcp:HOST:PORT)" s)
+  end
+  else Ok (`Unix s)
+
+let addr_to_string = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* the daemon: bind, announce, serve until a protocol shutdown (or a
+   signal) stops it — a clean stop is exit 0 *)
+let run_serve_daemon addr =
+  match Serve.start addr with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "proxim serve: cannot listen on %s: %s\n"
+      (addr_to_string addr) (Unix.error_message e);
+    1
+  | srv ->
+    let announced =
+      match (addr, Serve.port srv) with
+      | `Tcp (host, _), Some p -> `Tcp (host, p)
+      | a, _ -> a
+    in
+    Printf.printf "proxim serve: listening on %s\n%!"
+      (addr_to_string announced);
+    List.iter
+      (fun s ->
+        try Sys.set_signal s (Sys.Signal_handle (fun _ -> Serve.stop srv))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ];
+    Serve.wait srv;
+    Printf.printf "proxim serve: shut down cleanly\n%!";
+    0
+
+(* raw client: each --send payload goes out as one frame verbatim (so a
+   test can push deliberately broken JSON through the framing), and
+   each response prints as one line of JSON *)
+let run_serve_send addr payloads =
+  match Serve.connect addr with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "proxim serve: cannot connect to %s: %s\n"
+      (addr_to_string addr) (Unix.error_message e);
+    1
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let rec go = function
+          | [] -> 0
+          | payload :: tl -> (
+            Proxim_serve.Frame.write fd payload;
+            match Proxim_serve.Frame.read fd with
+            | Ok response ->
+              print_endline response;
+              go tl
+            | Error e ->
+              Printf.eprintf "proxim serve: %s\n"
+                (Proxim_serve.Frame.read_error_to_string e);
+              1)
+        in
+        go payloads)
+
+let serve_fail m =
+  prerr_endline ("proxim serve: " ^ m);
+  1
+
+let serve_request fd req k =
+  match Serve.request fd req with
+  | Error m -> serve_fail m
+  | Ok resp ->
+    if Serve.ok resp then k resp
+    else
+      serve_fail
+        (match Sjson.member "error" resp with
+         | Some e ->
+           Printf.sprintf "%s: %s"
+             (Option.value (Serve.error_code resp) ~default:"error")
+             (Option.value
+                (Option.bind (Sjson.member "message" e)
+                   Sjson.to_string_value)
+                ~default:"")
+         | None -> "request failed")
+
+(* smoke client for CI: drive load -> attach -> eco -> report through a
+   live daemon and print the result in exactly the format `proxim sta`
+   uses, so the bytes can be diffed against offline analysis *)
+let run_serve_smoke addr file pi_specs pi_all_spec eco_specs mode paths_k =
+  match
+    ( parse_all parse_pi_spec [] pi_specs,
+      parse_all parse_eco_spec [] eco_specs,
+      Option.fold ~none:(Ok None)
+        ~some:(fun s -> Result.map Option.some (parse_pi_all_spec s))
+        pi_all_spec )
+  with
+  | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
+    usage_error m
+  | Ok [], _, Ok None ->
+    usage_error "proxim serve: need at least one --pi event (or --pi-all)"
+  | Ok named_pi, Ok ecos, Ok pi_all -> (
+    match Serve.connect addr with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "proxim serve: cannot connect to %s: %s\n"
+        (addr_to_string addr) (Unix.error_message e);
+      1
+    | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let abs =
+            if Filename.is_relative file then
+              Filename.concat (Sys.getcwd ()) file
+            else file
+          in
+          serve_request fd
+            (Sjson.Obj
+               [ ("op", Sjson.String "load"); ("path", Sjson.String abs) ])
+            (fun load_resp ->
+              let dname =
+                Option.value
+                  (Option.bind (Sjson.member "design" load_resp)
+                     Sjson.to_string_value)
+                  ~default:""
+              in
+              let attach_fields =
+                [
+                  ("op", Sjson.String "attach");
+                  ("design", Sjson.String dname);
+                  ( "mode",
+                    Sjson.String
+                      (match mode with
+                       | Sta.Classic -> "classic"
+                       | _ -> "proximity") );
+                  ("models", Sjson.String "synthetic");
+                  ( "pi",
+                    Sjson.List
+                      (List.map
+                         (fun (net, a) ->
+                           Sjson.List
+                             [ Sjson.String net; Serve.arrival_to_json a ])
+                         named_pi) );
+                ]
+                @
+                match pi_all with
+                | None -> []
+                | Some a -> [ ("pi_all", Serve.arrival_to_json a) ]
+              in
+              serve_request fd (Sjson.Obj attach_fields) (fun _ ->
+                  let after_ecos k =
+                    if ecos = [] then k ()
+                    else
+                      serve_request fd
+                        (Sjson.Obj
+                           [
+                             ("op", Sjson.String "eco");
+                             ( "ecos",
+                               Sjson.List
+                                 (List.map
+                                    (function
+                                      | Sta.Touch_cell c ->
+                                        Sjson.Obj
+                                          [
+                                            ( "kind",
+                                              Sjson.String "touch_cell" );
+                                            ("cell", Sjson.String c);
+                                          ]
+                                      | Sta.Set_pi (net, a) ->
+                                        Sjson.Obj
+                                          [
+                                            ("kind", Sjson.String "set_pi");
+                                            ("net", Sjson.String net);
+                                            ( "arrival",
+                                              match a with
+                                              | None -> Sjson.Null
+                                              | Some a ->
+                                                Serve.arrival_to_json a );
+                                          ])
+                                    ecos) );
+                           ])
+                        (fun _ -> k ())
+                  in
+                  after_ecos (fun () ->
+                      serve_request fd
+                        (Sjson.Obj [ ("op", Sjson.String "report") ])
+                        (fun resp ->
+                          match
+                            match Sjson.member "report" resp with
+                            | None -> Error "response carries no report"
+                            | Some rj -> Serve.report_of_json rj
+                          with
+                          | Error m -> serve_fail m
+                          | Ok report ->
+                            (* byte-compatible with run_sta's output *)
+                            Printf.printf "arrivals:\n";
+                            List.iter
+                              (fun (net, (a : Sta.arrival)) ->
+                                Printf.printf
+                                  "  %-14s %8.1f ps  slew %7.1f ps  %s\n" net
+                                  (ps a.Sta.time) (ps a.Sta.slew)
+                                  (edge_name a.Sta.edge))
+                              report.Sta.arrivals;
+                            (match report.Sta.critical_po with
+                             | None ->
+                               Printf.printf "no primary output switches\n";
+                               ignore
+                                 (serve_request fd
+                                    (Sjson.Obj
+                                       [ ("op", Sjson.String "bye") ])
+                                    (fun _ -> 0)
+                                   : int);
+                               0
+                             | Some (po, a) ->
+                               Printf.printf "critical output: %s at %.1f ps\n"
+                                 po (ps a.Sta.time);
+                               serve_request fd
+                                 (Sjson.Obj
+                                    [
+                                      ("op", Sjson.String "paths");
+                                      ("po", Sjson.String po);
+                                      ( "k",
+                                        Sjson.Number (float_of_int paths_k)
+                                      );
+                                    ])
+                                 (fun presp ->
+                                   let paths =
+                                     Option.value
+                                       (Option.bind
+                                          (Sjson.member "paths" presp)
+                                          Sjson.to_list)
+                                       ~default:[]
+                                   in
+                                   List.iteri
+                                     (fun i p ->
+                                       let arrival =
+                                         Option.value
+                                           (Option.bind
+                                              (Sjson.member "arrival" p)
+                                              Sjson.to_number)
+                                           ~default:Float.nan
+                                       in
+                                       let nets =
+                                         Option.value
+                                           (Option.bind
+                                              (Sjson.member "nets" p)
+                                              Sjson.to_list)
+                                           ~default:[]
+                                       in
+                                       Printf.printf
+                                         "path #%d (%8.1f ps): %s\n" (i + 1)
+                                         (ps arrival)
+                                         (String.concat " <- "
+                                            (List.filter_map
+                                               Sjson.to_string_value nets)))
+                                     paths;
+                                   serve_request fd
+                                     (Sjson.Obj
+                                        [ ("op", Sjson.String "bye") ])
+                                     (fun _ -> 0)))))))))
+
+let run_serve listen_s connect_s payloads smoke_file pi_specs pi_all_spec
+    eco_specs mode paths_k =
+  let with_addr s k =
+    match parse_addr s with Error m -> usage_error m | Ok a -> k a
+  in
+  match (connect_s, smoke_file, payloads) with
+  | None, None, [] -> (
+    match listen_s with
+    | Some s -> with_addr s run_serve_daemon
+    | None ->
+      usage_error
+        "proxim serve: pass --listen ADDR to serve, or --connect ADDR with \
+         --send/--smoke to talk to a daemon")
+  | None, _, _ ->
+    usage_error "proxim serve: --send/--smoke need --connect ADDR"
+  | Some _, Some _, _ :: _ ->
+    usage_error "proxim serve: --send and --smoke are mutually exclusive"
+  | Some c, None, (_ :: _ as payloads) ->
+    with_addr c (fun a -> run_serve_send a payloads)
+  | Some c, Some file, [] ->
+    with_addr c (fun a ->
+        run_serve_smoke a file pi_specs pi_all_spec eco_specs mode paths_k)
+  | Some _, None, [] ->
+    usage_error "proxim serve: --connect needs --send or --smoke"
+
+let serve_cmd =
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve on $(docv): unix:PATH (or a bare path) for a Unix-domain \
+             socket, tcp:HOST:PORT for TCP (port 0 picks a free port, \
+             announced on stdout).")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Client mode: connect to a running daemon at $(docv).")
+  in
+  let send =
+    Arg.(
+      value & opt_all string []
+      & info [ "send" ] ~docv:"JSON"
+          ~doc:
+            "With --connect: send $(docv) as one frame (verbatim, so even \
+             deliberately malformed payloads can be exercised) and print \
+             the response.  Repeatable, sent in order.")
+  in
+  let smoke =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "smoke" ] ~docv:"FILE"
+          ~doc:
+            "With --connect: drive load/attach/eco/report against the \
+             daemon for netlist $(docv) and print the post-ECO report in \
+             `proxim sta` format (for byte-comparison in CI).")
+  in
+  let pi =
+    Arg.(
+      value & opt_all string []
+      & info [ "pi" ] ~docv:"EVENT"
+          ~doc:"Smoke-mode primary-input event net:edge:tau_ps:cross_ps.")
+  in
+  let pi_all =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pi-all" ] ~docv:"EVENT"
+          ~doc:
+            "Smoke-mode event edge:tau_ps:cross_ps applied to every \
+             primary input not named by --pi.")
+  in
+  let eco =
+    Arg.(
+      value & opt_all string []
+      & info [ "eco" ] ~docv:"ECO"
+          ~doc:
+            "Smoke-mode edit: pi:NET:EDGE:TAU_PS:CROSS_PS, pi:NET:quiet or \
+             cell:NAME, streamed to the daemon before the report.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum [ ("classic", Sta.Classic); ("proximity", Sta.Proximity) ])
+          Sta.Proximity
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Smoke-mode analysis mode.")
+  in
+  let paths =
+    Arg.(
+      value & opt int 1
+      & info [ "paths" ] ~docv:"K"
+          ~doc:"Smoke mode: enumerate the K worst paths.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived multi-session incremental timing daemon (and its \
+          client modes) over a length-prefixed JSON protocol")
+    Term.(
+      const (fun () l c sn sm p pa e m k ->
+          run_serve l c sn sm p pa e m k)
+      $ domains_setup $ listen $ connect $ send $ smoke $ pi $ pi_all $ eco
+      $ mode $ paths)
+
 let () =
   let doc = "temporal-proximity gate delay modeling (DAC'96 reproduction)" in
   let main =
     Cmd.group (Cmd.info "proxim" ~version:"1.0.0" ~doc)
       [ vtc_cmd; delay_cmd; proximity_cmd; glitch_cmd; sta_cmd; verify_cmd;
         hazards_cmd; sense_cmd; profile_cmd; storage_cmd; lint_cmd; gen_cmd;
-        convert_cmd ]
+        convert_cmd; serve_cmd ]
   in
   exit (Cmd.eval' main)

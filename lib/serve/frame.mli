@@ -1,0 +1,36 @@
+(** The [proxim serve] wire framing: a 4-byte big-endian payload length
+    followed by that many bytes of UTF-8 JSON.
+
+    The codec treats the peer as adversarial, mirroring the hardened
+    binary-netlist reader: the claimed length is bounds-checked against
+    {!max_frame} before any allocation, end-of-file in the middle of a
+    header or payload is distinguished from a clean close at a frame
+    boundary, and every failure is a typed {!read_error} — never an
+    exception escaping into a session thread. *)
+
+val max_frame : int
+(** Largest accepted payload, 16 MiB.  Large enough for a full
+    million-cell report; small enough that one hostile client cannot
+    force an unbounded allocation. *)
+
+type read_error =
+  | Closed
+      (** the peer closed the connection cleanly, at a frame boundary *)
+  | Truncated of string
+      (** end-of-file inside a header or payload; carries which *)
+  | Oversized of int
+      (** the header claimed more than {!max_frame} bytes — the stream
+          can no longer be trusted to resynchronize, close it *)
+
+val read_error_to_string : read_error -> string
+
+val read : Unix.file_descr -> (string, read_error) result
+(** Read one frame.  Blocking; never raises on EOF (typed errors
+    instead).  [Unix_error] from a genuinely broken descriptor still
+    propagates — the session loop maps it to a dropped connection. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write one frame (header + payload, complete-write loop).  Raises
+    [Invalid_argument] if the payload exceeds {!max_frame}, and
+    [Unix.Unix_error (EPIPE, _, _)] when the peer is gone — callers
+    treat that as a disconnect, not a crash. *)

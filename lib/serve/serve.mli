@@ -1,0 +1,120 @@
+(** [proxim serve] — a long-lived, multi-session incremental timing
+    daemon over the ECO engine.
+
+    The server holds many designs warm in a shared store and accepts
+    concurrent client sessions over a Unix-domain or TCP socket.  Each
+    session speaks the length-prefixed JSON protocol of {!Frame}: one
+    request object per frame, one response object back.  A session may
+    load or generate designs, attach an incremental analysis
+    ({!Proxim_sta.Sta.build_ir}), stream ECOs through
+    {!Proxim_sta.Sta.update}, and query reports, K-worst paths and
+    slacks — every answer is produced by the very same engine entry
+    points the offline [proxim sta] command uses, so responses are
+    bit-identical to offline analysis by construction.
+
+    {2 Protocol}
+
+    Requests are objects with an ["op"] field; responses carry
+    ["ok": true] plus the payload, or ["ok": false] with a typed
+    [{"error": {"code", "message"}}] envelope.  Ops:
+
+    - [hello] — server identification and protocol version.
+    - [load {"path"}] / [load_text {"text"}] — parse a netlist (binary
+      PXNB or text by sniffing / text only) into the shared store.
+    - [gen {"cells", "depth", "seed"}] — deterministic synthetic design.
+    - [designs] — list the store.
+    - [attach {"design", "mode", "models", "seed", "pi", "pi_all"}] —
+      build + analyze an IR for this session.  [pi] is a list of
+      [[net, arrival]] pairs; [pi_all] applies one arrival to every
+      remaining primary input.  Arrivals are
+      [{"time", "slew", "edge"}] with times in seconds ([%.17g]
+      round-trips them losslessly, preserving bit-identity over JSON).
+    - [eco {"ecos"}] — [{"kind": "set_pi", "net", "arrival"|null}] or
+      [{"kind": "touch_cell", "cell"}], applied in order through
+      {!Proxim_sta.Sta.update}.
+    - [swap_models {"seed"}] — {!Proxim_sta.Sta.swap_models} to the
+      shared synthetic factory of that seed.
+    - [report], [paths {"po", "k"}], [slacks {"required"}] — queries.
+    - [metrics {"format": "text"|"json"}] — the {!Proxim_obs.Metrics}
+      registry snapshot, Prometheus-style text or JSON.
+    - [ping], [bye], [shutdown].
+
+    {2 Robustness}
+
+    Malformed frames, oversized payloads, bad JSON, unknown ops,
+    analysis errors ({!Proxim_sta.Sta.Unknown_eco_target},
+    {!Proxim_sta.Sta.Mixed_input_edges}), and
+    {!Proxim_util.Pool.Shut_down} all degrade to typed per-session
+    error responses; a client disconnect ends its session thread.  No
+    client behavior terminates the process.
+
+    Sessions share the characterized model store (the factories'
+    memo caches are domain-safe) and one work-stealing pool; engine
+    calls are serialized on a process-wide mutex so the pool's
+    domain-local re-entrancy flag is never interleaved by sibling
+    systhreads. *)
+
+module Json = Proxim_lint.Json
+
+type listen =
+  [ `Unix of string  (** Unix-domain socket at this path *)
+  | `Tcp of string * int  (** bind address, port (0 picks a free port) *)
+  ]
+
+type t
+(** A running server. *)
+
+val start : ?backlog:int -> listen -> t
+(** Bind, listen and spawn the accept thread.  Raises [Unix_error] if
+    the address cannot be bound.  Installs a [SIGPIPE] ignore handler
+    (a daemon must survive writes to vanished clients). *)
+
+val port : t -> int option
+(** The bound TCP port ([None] for Unix-domain sockets) — the way
+    tests bind port 0 and discover the real port. *)
+
+val stop : t -> unit
+(** Begin shutdown: stop accepting, wake every blocked session read
+    (the sockets are [shutdown(2)], so readers see a clean EOF).
+    Idempotent, non-blocking; pair with {!wait}. *)
+
+val wait : t -> unit
+(** Block until the server has fully stopped — the accept thread and
+    every session thread joined, the listening socket closed (and a
+    Unix-domain socket file unlinked).  Returns after {!stop} was
+    called from any thread, including a session handling the protocol
+    [shutdown] op. *)
+
+(** {1 Client side}
+
+    Enough of a client for the CLI smoke mode, the tests and the
+    bench: connect, exchange one frame per call. *)
+
+val connect : listen -> Unix.file_descr
+(** Connect to a server ([`Tcp] resolves the host with
+    [gethostbyname]).  Raises [Unix_error] on refusal. *)
+
+val request : Unix.file_descr -> Json.t -> (Json.t, string) result
+(** Send one request frame and read one response frame. *)
+
+val ok : Json.t -> bool
+(** The response's ["ok"] field (false when absent). *)
+
+val error_code : Json.t -> string option
+(** The response's ["error"]["code"] field, when present. *)
+
+(** {1 JSON codecs}
+
+    Shared by the server, the CLI client mode and the tests, so both
+    directions of the wire format live in one place. *)
+
+val arrival_to_json : Proxim_sta.Sta.arrival -> Json.t
+val arrival_of_json : Json.t -> Proxim_sta.Sta.arrival option
+
+val report_to_json : Proxim_sta.Sta.report -> Json.t
+
+val report_of_json : Json.t -> (Proxim_sta.Sta.report, string) result
+(** Exact inverse of {!report_to_json}: every float round-trips
+    bit-identically (the emitter prints [%.17g]). *)
+
+val stats_to_json : Proxim_timing.Timing.stats -> Json.t

@@ -22,24 +22,63 @@ let write_varint oc n =
   in
   go n
 
+(* An OCaml int has 63 bits, so a varint may carry at most 62 value bits
+   (the sign bit must stay clear): 8 full continuation bytes (7 bits
+   each) plus a final byte contributing bits 56..61.  A ninth byte with
+   the continuation bit, or a bit-62 payload at shift 56, would wrap the
+   accumulator negative — the overflow that once let attacker-controlled
+   "lengths" slip past every [n > max] guard as negative ints. *)
 let read_varint ic =
   let rec go shift acc =
-    if shift > 56 then corrupt "varint too long";
     let b = try input_byte ic with End_of_file -> corrupt "truncated varint" in
+    if shift = 56 && b land 0x40 <> 0 then
+      corrupt "varint overflows the 63-bit integer range";
     let acc = acc lor ((b land 0x7f) lsl shift) in
-    if b land 0x80 = 0 then acc else go (shift + 7) acc
+    if b land 0x80 = 0 then acc
+    else if shift >= 56 then corrupt "varint too long"
+    else go (shift + 7) acc
   in
   go 0 0
+
+(* Every count and length decoded from the wire goes through this guard:
+   [read_varint] can no longer return a negative value, but the decoders
+   downstream ([really_input_string], [List.init], [Array.init]) must
+   never see one even if the invariant breaks — a negative length is
+   [Corrupt], not an untyped [Invalid_argument] escaping a daemon. *)
+let read_count ic ~what ~max =
+  let n = read_varint ic in
+  if n < 0 then corrupt "negative %s %d" what n;
+  if n > max then corrupt "%s %d out of range (max %d)" what n max;
+  n
+
+let max_string_len = 0x0fff_ffff
 
 let write_string oc s =
   write_varint oc (String.length s);
   output_string oc s
 
+(* The claimed length is attacker-controlled; the channel's remaining
+   bytes are not.  Reading in bounded chunks means a 4-byte corrupt
+   header claiming a 256 MB string over-allocates at most one chunk
+   before end-of-file turns it into [Corrupt]. *)
+let read_chunk_size = 65536
+
 let read_string ic =
-  let n = read_varint ic in
-  if n > 0x0fff_ffff then corrupt "string length %d out of range" n;
-  try really_input_string ic n
-  with End_of_file -> corrupt "truncated string"
+  let n = read_count ic ~what:"string length" ~max:max_string_len in
+  if n <= read_chunk_size then (
+    try really_input_string ic n with End_of_file -> corrupt "truncated string")
+  else begin
+    let buf = Buffer.create read_chunk_size in
+    let remaining = ref n in
+    while !remaining > 0 do
+      let k = min read_chunk_size !remaining in
+      (match really_input_string ic k with
+       | s -> Buffer.add_string buf s
+       | exception End_of_file -> corrupt "truncated string");
+      remaining := !remaining - k
+    done;
+    Buffer.contents buf
+  end
 
 let write_f64 oc x =
   let b = Bytes.create 8 in
@@ -146,7 +185,7 @@ let read_channel tech ic =
         Some { Vtc.vil; vih; vdd }
       | b -> corrupt "bad thresholds flag %d" b
     in
-    let n_gates = read_varint ic in
+    let n_gates = read_count ic ~what:"gate table size" ~max:0xffff in
     let gates =
       Array.init n_gates (fun _ ->
         let gname = read_string ic in
@@ -155,12 +194,12 @@ let read_channel tech ic =
         | Error msg -> corrupt "gate table: %s" msg)
     in
     let read_net_list () =
-      let n = read_varint ic in
+      let n = read_count ic ~what:"net list length" ~max:max_string_len in
       List.init n (fun _ -> read_string ic)
     in
     let pis = read_net_list () in
     let pos = read_net_list () in
-    let n_cells = read_varint ic in
+    let n_cells = read_count ic ~what:"cell count" ~max:max_string_len in
     (* streamed: one cell record decoded at a time, consed in reverse *)
     let cells = ref [] in
     for _ = 1 to n_cells do
@@ -168,7 +207,7 @@ let read_channel tech ic =
       if gi >= n_gates then corrupt "gate index %d out of table" gi;
       let cname = read_string ic in
       let output = read_string ic in
-      let n_in = read_varint ic in
+      let n_in = read_count ic ~what:"input count" ~max:0xffff in
       let inputs = Array.init n_in (fun _ -> read_string ic) in
       cells :=
         {

@@ -68,7 +68,16 @@ val read_channel :
     through {!Design.create}, so cycles, double drivers and arity
     mismatches are reported with the same messages as the text path.
     Truncated input, a bad magic, an unsupported version or a corrupt
-    record all come back as [Error] — never an exception. *)
+    record all come back as [Error] — never an exception.
+
+    The decoder treats the input as adversarial (the [proxim serve]
+    daemon parses client-supplied bytes through it): varints are
+    rejected before they can overflow OCaml's 63-bit [int] (9
+    continuation bytes, or a final byte setting bit 62, are [Error],
+    never a negative length), every decoded count is bounds-checked
+    before any allocation sized by it, and long strings are read in
+    bounded chunks so a short file claiming a 256 MB payload fails at
+    end-of-file instead of forcing the allocation up front. *)
 
 val read_file :
   Proxim_gates.Tech.t ->

@@ -44,6 +44,13 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+exception Shut_down
+
+let () =
+  Printexc.register_printer (function
+    | Shut_down -> Some "Proxim_util.Pool.Shut_down"
+    | _ -> None)
+
 (* Set while a domain is executing job chunks: inner parallel calls from
    such a domain run serially instead of re-entering a pool. *)
 let busy_key = Domain.DLS.new_key (fun () -> ref false)
@@ -226,6 +233,13 @@ let serial_for ~n f =
   done
 
 let parallel_for ?chunk pool ~n f =
+  (* [stop] only ever flips false -> true, so this unlocked read is a
+     best-effort gate: a submission racing shutdown may still slip
+     through, in which case the submitting domain drains every chunk
+     itself (the steal loop needs no workers) — never a hang.  Anything
+     arriving after is the typed error a long-lived server maps to a
+     per-session failure instead of dying. *)
+  if pool.stop then raise Shut_down;
   if n <= 0 then ()
   else begin
     let chunk =
@@ -234,7 +248,7 @@ let parallel_for ?chunk pool ~n f =
       | Some _ -> invalid_arg "Pool.parallel_for: chunk must be >= 1"
       | None -> default_chunk ~n ~domains:pool.width
     in
-    if pool.width = 1 || n <= chunk || busy () || pool.stop then begin
+    if pool.width = 1 || n <= chunk || busy () then begin
       Dcounter.incr c_serial_jobs;
       Dcounter.add c_tasks n;
       serial_for ~n f

@@ -41,9 +41,19 @@ val create : domains:int -> t
 val domains : t -> int
 (** The parallelism width the pool was created with. *)
 
+exception Shut_down
+(** Raised by {!parallel_for}/{!map}/{!map_list} when the pool has been
+    {!shutdown}.  A typed, catchable error — never a hang on vanished
+    workers — so long-lived callers holding a stale pool reference
+    (e.g. a [serve] session that outlives a {!set_default_domains}
+    reconfiguration) can surface the failure per request and re-fetch
+    {!default}.  A printer is registered. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent.  Jobs submitted after
-    shutdown run serially on the calling domain. *)
+    shutdown raise {!Shut_down}; a submission racing the shutdown may
+    instead complete normally on the submitting domain (the check is
+    best-effort, the job's completion is not). *)
 
 val default_chunk : n:int -> domains:int -> int
 (** The default chunking policy: [max 1 (ceil (n / (4 * domains)))],
@@ -88,7 +98,7 @@ val parallel_jobs : unit -> int
 
 val serial_jobs : unit -> int
 (** Jobs that degraded to a plain loop (width 1, job no larger than one
-    chunk, nested call, or post-shutdown submission). *)
+    chunk, or nested call). *)
 
 val tasks_dispatched : unit -> int
 (** Total indices dispatched across all jobs, serial or parallel. *)

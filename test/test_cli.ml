@@ -1,0 +1,170 @@
+(* The malformed-event matrix at the CLI boundary: every subcommand
+   that accepts EDGE:TAU:T event specs (--event, --pi, --pi-all, --eco)
+   routes them through one shared parser, so a malformed spec must
+   produce the identical diagnostic and exit code 2 on every
+   subcommand — no more per-command drift between "bad numbers in
+   event", "... in pi event" and "... in pi-all event", or between
+   exit 1 and exit 2. *)
+
+let cli =
+  match
+    List.find_opt Sys.file_exists
+      [ "../bin/proxim_cli.exe"; "_build/default/bin/proxim_cli.exe" ]
+  with
+  | Some p -> p
+  | None -> "proxim"
+
+(* cells only ever combine nets of the same level, so uniform primary
+   input edges never produce mixed edges at any cell (the gates invert) *)
+let netlist =
+  {|design cli_demo
+input a b c d
+output y
+thresholds 1.263 3.737 5.0
+cell u1 nand2 a b -> n1
+cell u2 nand2 c d -> n2
+cell u3 nand2 n1 n2 -> y
+end
+|}
+
+let with_netlist f =
+  let file = Filename.temp_file "proxim_cli" ".ntl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc netlist);
+      f (Filename.quote file))
+
+(* run a command line, returning (exit code, stderr) *)
+let run_err fmt =
+  Printf.ksprintf
+    (fun args ->
+      let err = Filename.temp_file "proxim_cli" ".err" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove err with Sys_error _ -> ())
+        (fun () ->
+          let code =
+            Sys.command
+              (Printf.sprintf "%s >/dev/null 2>%s" args (Filename.quote err))
+          in
+          let text =
+            String.trim (In_channel.with_open_text err In_channel.input_all)
+          in
+          (code, text)))
+    fmt
+
+(* every subcommand × way of smuggling in the same broken event spec *)
+let matrix file =
+  [
+    ("proximity EVENT", Printf.sprintf "proximity nand2 a:%s");
+    ("sta --pi", Printf.sprintf "sta %s --models synthetic --pi a:%s" file);
+    ( "sta --eco",
+      Printf.sprintf
+        "sta %s --models synthetic --pi a:fall:400:0 --eco pi:a:%s" file );
+    ("verify --pi", Printf.sprintf "verify %s --pi a:%s" file);
+    ("hazards --pi", Printf.sprintf "hazards %s --pi a:%s" file);
+    ("sense --pi", Printf.sprintf "sense %s --pi a:%s" file);
+    ("profile --pi", Printf.sprintf "profile %s --pi a:%s" file);
+  ]
+
+let check_uniform ~ctx ~spec ~expect_msg file =
+  let results =
+    List.map
+      (fun (name, cmd) ->
+        let code, err = run_err "%s %s" cli (cmd spec) in
+        (name, code, err))
+      (matrix file)
+  in
+  List.iter
+    (fun (name, code, err) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: %s exits 2" ctx name)
+        2 code;
+      Alcotest.(check string)
+        (Printf.sprintf "%s: %s message" ctx name)
+        expect_msg err)
+    results
+
+let test_bad_numbers_uniform () =
+  with_netlist (fun file ->
+      check_uniform ~ctx:"bad tau" ~spec:"fall:abc:0"
+        ~expect_msg:"bad numbers in event a:fall:abc:0" file;
+      check_uniform ~ctx:"bad time" ~spec:"fall:400:xyz"
+        ~expect_msg:"bad numbers in event a:fall:400:xyz" file)
+
+let test_bad_edge_uniform () =
+  with_netlist
+    (check_uniform ~ctx:"bad edge" ~spec:"sideways:400:0"
+       ~expect_msg:"unknown edge sideways (rise|fall)")
+
+(* shape errors keep their per-spec-kind wording (each names its own
+   expected grammar) but still exit 2 everywhere *)
+let test_wrong_shape_exits_2 () =
+  with_netlist (fun file ->
+      List.iter
+        (fun (name, cmd) ->
+          let code, err = run_err "%s %s" cli (cmd "fall:400") in
+          Alcotest.(check int)
+            (Printf.sprintf "shape: %s exits 2" name)
+            2 code;
+          Alcotest.(check bool)
+            (Printf.sprintf "shape: %s says bad ...: %s" name err)
+            true
+            (String.length err > 0))
+        (matrix file);
+      (* --pi-all has its own 3-field shape; a 4-field spec is malformed *)
+      let code, _ = run_err "%s sta %s --models synthetic --pi-all a:fall:400:0" cli file in
+      Alcotest.(check int) "sta --pi-all shape exits 2" 2 code;
+      let code, err = run_err "%s sta %s --models synthetic --pi-all fall:nan:oops" cli file in
+      Alcotest.(check int) "sta --pi-all bad numbers exits 2" 2 code;
+      Alcotest.(check string) "sta --pi-all same message"
+        "bad numbers in event fall:nan:oops" err)
+
+let test_missing_events_exit_2 () =
+  with_netlist (fun file ->
+      let code, _ = run_err "%s sta %s --models synthetic" cli file in
+      Alcotest.(check int) "sta with no events" 2 code;
+      let code, _ = run_err "%s proximity nand2" cli in
+      Alcotest.(check int) "proximity with no events" 2 code;
+      let code, _ = run_err "%s profile %s" cli file in
+      Alcotest.(check int) "profile with no events" 2 code)
+
+(* the well-formed path still works end to end after the refactor *)
+let test_valid_events_accepted () =
+  with_netlist (fun file ->
+      let code, err =
+        run_err
+          "%s sta %s --models synthetic --pi a:fall:400:0 --pi b:fall:300:50"
+          cli file
+      in
+      Alcotest.(check string) "no stderr" "" err;
+      Alcotest.(check int) "sta accepts valid events" 0 code;
+      let code, _ =
+        run_err
+          "%s sta %s --models synthetic --pi-all fall:400:0 --eco \
+           pi:a:fall:350:20"
+          cli file
+      in
+      Alcotest.(check int) "pi-all + eco accepted" 0 code)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "malformed-events",
+        [
+          Alcotest.test_case "bad numbers: one message, exit 2" `Quick
+            test_bad_numbers_uniform;
+          Alcotest.test_case "bad edge: one message, exit 2" `Quick
+            test_bad_edge_uniform;
+          Alcotest.test_case "wrong shape exits 2" `Quick
+            test_wrong_shape_exits_2;
+          Alcotest.test_case "missing events exit 2" `Quick
+            test_missing_events_exit_2;
+        ] );
+      ( "well-formed",
+        [
+          Alcotest.test_case "valid events accepted" `Quick
+            test_valid_events_accepted;
+        ] );
+    ]

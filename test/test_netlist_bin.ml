@@ -1,0 +1,181 @@
+(* Corrupt-input regression tests for the binary netlist decoder: the
+   63-bit varint overflow (a 9-byte varint whose final byte sets the
+   sign bit used to come back negative and sail past every length
+   guard), negative/oversized lengths, bounded-chunk string reads, and
+   truncation at every byte boundary of a valid file.  Every vector
+   must produce [Error _] — never an exception, never [Ok]. *)
+
+module Tech = Proxim_gates.Tech
+module Design = Proxim_sta.Design
+module Synthgen = Proxim_sta.Synthgen
+module Netlist_text = Proxim_sta.Netlist_text
+module Netlist_bin = Proxim_sta.Netlist_bin
+
+let tech = Tech.generic_5v
+
+let temp_bin f =
+  let path = Filename.temp_file "proxim_nlbin" ".pxnb" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+(* Decode [bytes] as a binary netlist; the result is always a [result].
+   Any escaping exception is the exact failure mode these tests exist
+   to prevent, so it fails the test with the exception's name. *)
+let read_bytes bytes =
+  temp_bin (fun path ->
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      match Netlist_bin.read_file tech path with
+      | r -> r
+      | exception e ->
+        Alcotest.failf "decoder raised %s" (Printexc.to_string e))
+
+let expect_error ~ctx ~mentions bytes =
+  match read_bytes bytes with
+  | Ok _ -> Alcotest.failf "%s: accepted corrupt input" ctx
+  | Error m ->
+    if not (contains m mentions) then
+      Alcotest.failf "%s: error %S does not mention %S" ctx m mentions
+
+(* A header up to the point where the design-name string begins: the
+   first varint the decoder reads.  Corrupt length vectors splice in
+   right here. *)
+let header = "PXNB\x01"
+
+let bytes l = String.concat "" (List.map (String.make 1) (List.map Char.chr l))
+
+(* ------------------------------------------------------------------ *)
+(* varint overflow                                                     *)
+
+let test_varint_sign_bit () =
+  (* 8 continuation bytes then a final byte with bit 0x40: that payload
+     bit lands on bit 62 — OCaml's sign bit.  The unpatched decoder
+     returned a negative length here. *)
+  let vector = bytes [0x80; 0x80; 0x80; 0x80; 0x80; 0x80; 0x80; 0x80; 0x40] in
+  expect_error ~ctx:"sign-bit varint" ~mentions:"varint overflows"
+    (header ^ vector);
+  (* all-ones: same overflow, detected on the ninth byte *)
+  let ones = String.make 9 '\xff' in
+  expect_error ~ctx:"all-ones varint" ~mentions:"varint overflows"
+    (header ^ ones)
+
+let test_varint_too_long () =
+  (* nine continuation bytes that never overflow bit 62 but keep the
+     continuation bit set past the last legal position *)
+  let vector = String.make 9 '\x80' in
+  expect_error ~ctx:"overlong varint" ~mentions:"varint too long"
+    (header ^ vector)
+
+let test_varint_truncated () =
+  expect_error ~ctx:"varint cut mid-stream" ~mentions:"truncated varint"
+    (header ^ bytes [0x80; 0x80])
+
+(* ------------------------------------------------------------------ *)
+(* length guards                                                       *)
+
+let test_string_length_over_max () =
+  (* 0x1000_0000 — one past the 256 MB - 1 cap *)
+  let vector = bytes [0x80; 0x80; 0x80; 0x80; 0x01] in
+  expect_error ~ctx:"string length over max" ~mentions:"out of range"
+    (header ^ vector)
+
+let test_huge_claimed_string () =
+  (* a legal-looking length claim of 256 MB - 1 with no bytes behind
+     it: the chunked reader must fail at end-of-file without first
+     allocating the claimed size *)
+  let vector = bytes [0xff; 0xff; 0xff; 0x7f] in
+  let before = Gc.quick_stat () in
+  expect_error ~ctx:"huge claimed string" ~mentions:"truncated string"
+    (header ^ vector);
+  let after = Gc.quick_stat () in
+  let words = after.Gc.major_words -. before.Gc.major_words in
+  (* one 64 KB chunk is fine; a quarter-gigabyte buffer is not *)
+  if words > 4e6 then
+    Alcotest.failf "decoder allocated %.0f major words for a phantom string"
+      words
+
+let test_count_guards () =
+  (* empty design name, no thresholds, then a gate-table size past the
+     0xffff cap *)
+  let prefix = header ^ bytes [0x00; 0x00] in
+  expect_error ~ctx:"gate table size" ~mentions:"gate table size"
+    (prefix ^ bytes [0x80; 0x80; 0x04]);
+  (* gate index beyond the (empty) gate table *)
+  let no_gates_no_nets = prefix ^ bytes [0x00; 0x00; 0x00] in
+  expect_error ~ctx:"gate index" ~mentions:"gate index"
+    (no_gates_no_nets ^ bytes [0x01; 0x05])
+
+(* ------------------------------------------------------------------ *)
+(* truncation at every byte boundary                                   *)
+
+let test_truncation_everywhere () =
+  let name, design = Synthgen.generate ~seed:7 ~depth:3 ~tech ~cells:24 () in
+  let th = { Proxim_vtc.Vtc.vil = 1.9; vih = 3.1; vdd = 5. } in
+  let full =
+    temp_bin (fun path ->
+        Netlist_bin.write_file ~thresholds:th ~name design path;
+        In_channel.with_open_bin path In_channel.input_all)
+  in
+  (match read_bytes full with
+   | Ok (name', design', Some _) ->
+     Alcotest.(check string) "round-trip name" name name';
+     Alcotest.(check string) "round-trip structure"
+       (Netlist_text.to_string ~name design)
+       (Netlist_text.to_string ~name design')
+   | Ok (_, _, None) -> Alcotest.fail "thresholds lost"
+   | Error m -> Alcotest.fail m);
+  (* every proper prefix — cutting inside the magic, the version byte,
+     a varint, a string body, a float, the end marker — must be a
+     typed decode error *)
+  for cut = 0 to String.length full - 1 do
+    match read_bytes (String.sub full 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted file truncated at byte %d" cut
+  done
+
+(* garbage appended after a valid file is ignored (the format is
+   self-delimiting); garbage replacing the end marker is not *)
+let test_end_marker () =
+  let name, design = Synthgen.generate ~seed:8 ~depth:3 ~tech ~cells:12 () in
+  let full =
+    temp_bin (fun path ->
+        Netlist_bin.write_file ~name design path;
+        In_channel.with_open_bin path In_channel.input_all)
+  in
+  let body = String.sub full 0 (String.length full - 1) in
+  expect_error ~ctx:"bad end marker" ~mentions:"end marker"
+    (body ^ bytes [0x00])
+
+let () =
+  Alcotest.run "netlist_bin"
+    [
+      ( "varint",
+        [
+          Alcotest.test_case "sign-bit overflow rejected" `Quick
+            test_varint_sign_bit;
+          Alcotest.test_case "overlong continuation rejected" `Quick
+            test_varint_too_long;
+          Alcotest.test_case "truncated varint" `Quick test_varint_truncated;
+        ] );
+      ( "lengths",
+        [
+          Alcotest.test_case "string length over max" `Quick
+            test_string_length_over_max;
+          Alcotest.test_case "huge claimed string stays bounded" `Quick
+            test_huge_claimed_string;
+          Alcotest.test_case "count guards" `Quick test_count_guards;
+        ] );
+      ( "truncation",
+        [
+          Alcotest.test_case "every byte boundary" `Quick
+            test_truncation_everywhere;
+          Alcotest.test_case "end marker" `Quick test_end_marker;
+        ] );
+    ]

@@ -105,9 +105,29 @@ let test_shutdown_idempotent () =
   let pool = Pool.create ~domains:3 in
   Pool.shutdown pool;
   Pool.shutdown pool;
-  (* post-shutdown jobs degrade to serial rather than hanging *)
-  let out = Pool.map pool (fun i -> i * 3) (Array.init 5 Fun.id) in
-  Alcotest.(check int) "post-shutdown map" 12 out.(4)
+  (* submissions to a shut-down pool raise the typed error — they must
+     neither hang on vanished workers nor silently degrade to serial *)
+  Alcotest.check_raises "post-shutdown map raises" Pool.Shut_down (fun () ->
+      ignore (Pool.map pool (fun i -> i * 3) (Array.init 5 Fun.id)));
+  Alcotest.check_raises "post-shutdown parallel_for raises" Pool.Shut_down
+    (fun () -> Pool.parallel_for pool ~n:5 ignore);
+  (* even for the empty job: shutdown state dominates *)
+  Alcotest.check_raises "post-shutdown empty job raises" Pool.Shut_down
+    (fun () -> Pool.parallel_for pool ~n:0 ignore);
+  (* a width-1 pool follows the same contract *)
+  let serial = Pool.create ~domains:1 in
+  Pool.shutdown serial;
+  Alcotest.check_raises "shut-down serial pool raises" Pool.Shut_down
+    (fun () -> Pool.parallel_for serial ~n:1 ignore);
+  (* the error is catchable and the process stays healthy: a live pool
+     still works afterwards *)
+  let fresh = Pool.create ~domains:2 in
+  (match Pool.parallel_for pool ~n:1 ignore with
+   | () -> Alcotest.fail "expected Shut_down"
+   | exception Pool.Shut_down -> ());
+  let out = Pool.map fresh (fun i -> i + 1) (Array.init 6 Fun.id) in
+  Alcotest.(check int) "fresh pool unaffected" 6 out.(5);
+  Pool.shutdown fresh
 
 (* ------------------------------------------------------------------ *)
 (* Work-stealing internals: persistence, skewed chunks, nested chunks  *)

@@ -1,0 +1,415 @@
+(* The serve daemon: wire codecs round-trip floats bit-identically,
+   every session answer matches the offline engine byte-for-byte,
+   concurrent sessions agree, and adversarial clients (garbage frames,
+   oversized claims, mid-session disconnects) get typed errors without
+   ever taking the server down. *)
+
+module Tech = Proxim_gates.Tech
+module Measure = Proxim_measure.Measure
+module Design = Proxim_sta.Design
+module Sta = Proxim_sta.Sta
+module Netlist_text = Proxim_sta.Netlist_text
+module Serve = Proxim_serve.Serve
+module Frame = Proxim_serve.Frame
+module Json = Proxim_lint.Json
+
+let tech = Tech.generic_5v
+
+let same_float a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_bits msg a b =
+  if not (same_float a b) then
+    Alcotest.failf "%s: %.17g and %.17g differ in bits" msg a b
+
+let netlist_text =
+  String.concat "\n"
+    [
+      "design serve_demo";
+      "input a";
+      "input b";
+      "input c";
+      "input d";
+      "output y";
+      "cell u1 nand2 a b -> n1";
+      "cell u2 nand2 c d -> n2";
+      "cell u3 nand2 n1 n2 -> y";
+      "thresholds 1.263 3.737 5.0";
+      "";
+    ]
+
+(* the same stimulus both offline and over the wire; deliberately
+   non-round floats so bit-identity is actually exercised *)
+let pi_events =
+  [
+    ("a", { Sta.time = 0.; slew = 4.001e-10; edge = Measure.Fall });
+    ("b", { Sta.time = 5.3e-11; slew = 3.07e-10; edge = Measure.Fall });
+    ("c", { Sta.time = 5.3e-11; slew = 3.07e-10; edge = Measure.Fall });
+    ("d", { Sta.time = 5.3e-11; slew = 3.07e-10; edge = Measure.Fall });
+  ]
+
+let eco_arrival = { Sta.time = 2.1e-11; slew = 3.51e-10; edge = Measure.Fall }
+let ecos = [ Sta.Set_pi ("a", Some eco_arrival) ]
+
+(* what the daemon must reproduce, computed through the very same
+   engine entry points the server calls *)
+let offline_report =
+  lazy
+    (let design =
+       match Netlist_text.parse tech netlist_text with
+       | Ok (_, d) -> d
+       | Error m -> Alcotest.failf "offline parse: %s" m
+     in
+     let raw = Netlist_text.parse_raw tech netlist_text in
+     let thresholds =
+       match raw.Netlist_text.raw_thresholds with
+       | Some (th, _) -> th
+       | None -> Alcotest.fail "netlist has no thresholds line"
+     in
+     let factory = Sta.synthetic_factory ~seed:0 () in
+     let ir =
+       Sta.build_ir ~mode:Sta.Proximity ~models:factory.Sta.models
+         ~thresholds design ~pi:pi_events
+     in
+     ignore (Sta.reanalyze ir);
+     ignore (Sta.update ir ecos);
+     Sta.report ir)
+
+let check_report_identical msg (got : Sta.report) (want : Sta.report) =
+  Alcotest.(check int)
+    (msg ^ ": arrival count")
+    (List.length want.Sta.arrivals)
+    (List.length got.Sta.arrivals);
+  List.iter2
+    (fun (gn, (ga : Sta.arrival)) (wn, (wa : Sta.arrival)) ->
+      Alcotest.(check string) (msg ^ ": net") wn gn;
+      check_bits (msg ^ ": time of " ^ wn) ga.Sta.time wa.Sta.time;
+      check_bits (msg ^ ": slew of " ^ wn) ga.Sta.slew wa.Sta.slew;
+      if ga.Sta.edge <> wa.Sta.edge then
+        Alcotest.failf "%s: edge of %s differs" msg wn)
+    got.Sta.arrivals want.Sta.arrivals;
+  (match (got.Sta.critical_po, want.Sta.critical_po) with
+   | None, None -> ()
+   | Some (gn, ga), Some (wn, wa) ->
+     Alcotest.(check string) (msg ^ ": critical po") wn gn;
+     check_bits (msg ^ ": critical time") ga.Sta.time wa.Sta.time
+   | _ -> Alcotest.failf "%s: critical_po presence differs" msg);
+  Alcotest.(check (list (pair string string)))
+    (msg ^ ": predecessors")
+    want.Sta.predecessors got.Sta.predecessors
+
+(* --- helpers over a live server --------------------------------------- *)
+
+let with_server f =
+  let srv = Serve.start (`Tcp ("127.0.0.1", 0)) in
+  let port =
+    match Serve.port srv with
+    | Some p -> p
+    | None -> Alcotest.fail "tcp server reports no port"
+  in
+  let addr = `Tcp ("127.0.0.1", port) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop srv;
+      Serve.wait srv)
+    (fun () -> f addr)
+
+let with_conn addr f =
+  let fd = Serve.connect addr in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let rpc fd req =
+  match Serve.request fd req with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "request failed: %s" m
+
+let rpc_ok fd req =
+  let j = rpc fd req in
+  if not (Serve.ok j) then
+    Alcotest.failf "request rejected: %s" (Json.to_string j);
+  j
+
+let expect_code fd req code =
+  let j = rpc fd req in
+  if Serve.ok j then
+    Alcotest.failf "expected %s error, got ok: %s" code (Json.to_string j);
+  Alcotest.(check (option string)) ("error code " ^ code) (Some code)
+    (Serve.error_code j)
+
+let str s = Json.String s
+let num f = Json.Number f
+
+let attach_req =
+  Json.Obj
+    [
+      ("op", str "attach");
+      ("design", str "serve_demo");
+      ("mode", str "proximity");
+      ("models", str "synthetic");
+      ( "pi",
+        Json.List
+          (List.map
+             (fun (net, a) ->
+               Json.List [ str net; Serve.arrival_to_json a ])
+             pi_events) );
+    ]
+
+let eco_req =
+  Json.Obj
+    [
+      ("op", str "eco");
+      ( "ecos",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("kind", str "set_pi");
+                ("net", str "a");
+                ("arrival", Serve.arrival_to_json eco_arrival);
+              ];
+          ] );
+    ]
+
+let load_design fd =
+  ignore
+    (rpc_ok fd
+       (Json.Obj [ ("op", str "load_text"); ("text", str netlist_text) ]))
+
+let session_report fd =
+  ignore (rpc_ok fd attach_req);
+  ignore (rpc_ok fd eco_req);
+  let resp = rpc_ok fd (Json.Obj [ ("op", str "report") ]) in
+  match
+    match Json.member "report" resp with
+    | None -> Error "no report field"
+    | Some rj -> Serve.report_of_json rj
+  with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "report decode: %s" m
+
+(* --- tests ------------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let nasty =
+    [
+      { Sta.time = 3.14159265358979312e-10; slew = 1e-300; edge = Measure.Rise };
+      { Sta.time = -0.; slew = Float.min_float; edge = Measure.Fall };
+      { Sta.time = 0x1.fffffffffffffp-100; slew = 1.0000000000000002;
+        edge = Measure.Rise };
+    ]
+  in
+  List.iter
+    (fun a ->
+      (* through the value codec AND through the printed wire bytes *)
+      let via_wire =
+        match Json.of_string (Json.to_string (Serve.arrival_to_json a)) with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "wire json: %s" m
+      in
+      match Serve.arrival_of_json via_wire with
+      | None -> Alcotest.fail "arrival did not decode"
+      | Some b ->
+        check_bits "time" b.Sta.time a.Sta.time;
+        check_bits "slew" b.Sta.slew a.Sta.slew;
+        if a.Sta.edge <> b.Sta.edge then Alcotest.fail "edge flip")
+    nasty;
+  let report =
+    {
+      Sta.arrivals = [ ("n1", List.hd nasty); ("y", List.nth nasty 2) ];
+      critical_po = Some ("y", List.nth nasty 1);
+      predecessors = [ ("y", "n1"); ("n1", "a") ];
+    }
+  in
+  let round =
+    match
+      Result.bind
+        (Json.of_string (Json.to_string (Serve.report_to_json report)))
+        Serve.report_of_json
+    with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "report roundtrip: %s" m
+  in
+  check_report_identical "report roundtrip" round report
+
+let test_e2e_bit_identity () =
+  with_server (fun addr ->
+      with_conn addr (fun fd ->
+          load_design fd;
+          let got = session_report fd in
+          check_report_identical "serve vs offline" got
+            (Lazy.force offline_report);
+          ignore (rpc_ok fd (Json.Obj [ ("op", str "bye") ]))))
+
+let test_concurrent_sessions () =
+  with_server (fun addr ->
+      with_conn addr load_design;
+      let n = 4 in
+      let results = Array.make n None in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () ->
+                with_conn addr (fun fd ->
+                    results.(i) <- Some (session_report fd)))
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | None -> Alcotest.failf "session %d produced no report" i
+          | Some r ->
+            check_report_identical
+              (Printf.sprintf "session %d vs offline" i)
+              r
+              (Lazy.force offline_report))
+        results)
+
+let test_typed_errors () =
+  with_server (fun addr ->
+      with_conn addr (fun fd ->
+          (* bad JSON keeps the session alive: framing is still intact *)
+          Frame.write fd "this is not json";
+          (match Frame.read fd with
+           | Ok s ->
+             let j = Result.get_ok (Json.of_string s) in
+             Alcotest.(check (option string)) "bad_json" (Some "bad_json")
+               (Serve.error_code j)
+           | Error e -> Alcotest.failf "no reply: %s" (Frame.read_error_to_string e));
+          ignore (rpc_ok fd (Json.Obj [ ("op", str "ping") ]));
+          expect_code fd (Json.Obj [ ("x", num 1.) ]) "bad_request";
+          expect_code fd (Json.Obj [ ("op", str "frobnicate") ]) "unknown_op";
+          expect_code fd
+            (Json.Obj [ ("op", str "attach"); ("design", str "nope") ])
+            "unknown_design";
+          expect_code fd (Json.Obj [ ("op", str "report") ]) "not_attached";
+          expect_code fd eco_req "not_attached";
+          expect_code fd
+            (Json.Obj
+               [ ("op", str "load"); ("path", str "/nonexistent/file.ntl") ])
+            "load_error";
+          load_design fd;
+          ignore (rpc_ok fd attach_req);
+          (* analysis-layer exceptions surface as typed codes *)
+          expect_code fd
+            (Json.Obj
+               [
+                 ("op", str "eco");
+                 ( "ecos",
+                   Json.List
+                     [
+                       Json.Obj
+                         [
+                           ("kind", str "set_pi");
+                           ("net", str "no_such_net");
+                           ("arrival", Serve.arrival_to_json eco_arrival);
+                         ];
+                     ] );
+               ])
+            "unknown_target";
+          (* an unknown po is an empty answer, not an error... *)
+          let j =
+            rpc_ok fd (Json.Obj [ ("op", str "paths"); ("po", str "not_a_po") ])
+          in
+          (match Option.bind (Json.member "paths" j) Json.to_list with
+           | Some [] -> ()
+           | _ -> Alcotest.fail "unknown po should yield zero paths");
+          (* ...but a shapeless request is typed bad_request *)
+          expect_code fd (Json.Obj [ ("op", str "paths") ]) "bad_request";
+          expect_code fd
+            (Json.Obj [ ("op", str "slacks"); ("required", str "soon") ])
+            "bad_request"))
+
+let test_adversarial_frames () =
+  with_server (fun addr ->
+      (* oversized length claim: typed bad_frame answer, then the
+         stream is dropped (it cannot resynchronize) *)
+      with_conn addr (fun fd ->
+          let header = Bytes.of_string "\x7f\xff\xff\xff" in
+          ignore (Unix.write fd header 0 4 : int);
+          (match Frame.read fd with
+           | Ok s ->
+             let j = Result.get_ok (Json.of_string s) in
+             Alcotest.(check (option string)) "bad_frame" (Some "bad_frame")
+               (Serve.error_code j)
+           | Error e ->
+             Alcotest.failf "no bad_frame reply: %s"
+               (Frame.read_error_to_string e));
+          match Frame.read fd with
+          | Error Frame.Closed -> ()
+          | Ok _ -> Alcotest.fail "stream survived an oversized claim"
+          | Error _ -> () (* reset also acceptable: the server hung up *));
+      (* truncated header: client vanishes two bytes into a frame *)
+      with_conn addr (fun fd -> ignore (Unix.write fd (Bytes.of_string "\x00\x01") 0 2 : int));
+      (* disconnect mid-session, with state attached *)
+      with_conn addr (fun fd ->
+          load_design fd;
+          ignore (rpc_ok fd attach_req));
+      (* after all that abuse the server still answers *)
+      with_conn addr (fun fd ->
+          ignore (rpc_ok fd (Json.Obj [ ("op", str "ping") ]))))
+
+let test_metrics_endpoint () =
+  with_server (fun addr ->
+      with_conn addr (fun fd ->
+          ignore (rpc_ok fd (Json.Obj [ ("op", str "ping") ]));
+          let j =
+            rpc_ok fd
+              (Json.Obj [ ("op", str "metrics"); ("format", str "json") ])
+          in
+          (match Json.member "metrics" j with
+           | Some (Json.Obj _) -> ()
+           | _ -> Alcotest.fail "metrics payload is not an object");
+          let t =
+            rpc_ok fd
+              (Json.Obj [ ("op", str "metrics"); ("format", str "text") ])
+          in
+          let text =
+            Option.value
+              (Option.bind (Json.member "metrics" t) Json.to_string_value)
+              ~default:""
+          in
+          if not (String.length text > 0) then
+            Alcotest.fail "empty text metrics";
+          expect_code fd
+            (Json.Obj [ ("op", str "metrics"); ("format", str "xml") ])
+            "bad_request"))
+
+let test_protocol_shutdown () =
+  let srv = Serve.start (`Tcp ("127.0.0.1", 0)) in
+  let port = Option.get (Serve.port srv) in
+  let addr = `Tcp ("127.0.0.1", port) in
+  with_conn addr (fun fd ->
+      let j = rpc_ok fd (Json.Obj [ ("op", str "shutdown") ]) in
+      ignore (j : Json.t));
+  Serve.wait srv;
+  (* fully stopped: new connections are refused *)
+  match Serve.connect addr with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (* a race can let connect through before the OS reaps the socket;
+       any use must then fail *)
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "serve",
+        [
+          Alcotest.test_case "codec roundtrip is bit-identical" `Quick
+            test_codec_roundtrip;
+          Alcotest.test_case "e2e report matches offline engine" `Quick
+            test_e2e_bit_identity;
+          Alcotest.test_case "concurrent sessions agree" `Quick
+            test_concurrent_sessions;
+          Alcotest.test_case "typed per-session errors" `Quick
+            test_typed_errors;
+          Alcotest.test_case "adversarial frames never kill the server"
+            `Quick test_adversarial_frames;
+          Alcotest.test_case "metrics endpoint" `Quick test_metrics_endpoint;
+          Alcotest.test_case "protocol shutdown" `Quick
+            test_protocol_shutdown;
+        ] );
+    ]
